@@ -1,0 +1,65 @@
+//! The offline optimum, used as feasibility oracle by harnesses and tests.
+//!
+//! For unit jobs with integer windows on identical machines, greedy EDF is
+//! an exact offline algorithm, so "optimal" here means: schedules exactly
+//! the feasible instances (`realloc_core::feasibility::edf_schedule`).
+//! This module adds convenience measurements on top.
+
+use realloc_core::feasibility::{edf_feasible, gamma_underallocated_blocked};
+use realloc_core::{Job, ScheduleSnapshot};
+
+/// Offline-schedules the job set; `None` when infeasible.
+pub fn optimal_schedule(jobs: &[Job], machines: usize) -> Option<ScheduleSnapshot> {
+    realloc_core::feasibility::edf_schedule(jobs, machines)
+}
+
+/// The largest integer `γ` (up to `limit`) for which the instance is
+/// verifiably `γ`-underallocated by the blocked-start sufficient test.
+/// Returns 0 when the instance is not even feasible.
+pub fn max_verified_gamma(jobs: &[Job], machines: usize, limit: u64) -> u64 {
+    if !edf_feasible(jobs, machines) {
+        return 0;
+    }
+    let mut best = 1;
+    for gamma in 2..=limit {
+        if gamma_underallocated_blocked(jobs, machines, gamma) {
+            best = gamma;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_core::Window;
+
+    #[test]
+    fn gamma_measurement_matches_construction() {
+        // 2 jobs spread over a span-16 window: γ up to 8 on one machine.
+        let jobs = vec![
+            Job::unit(1, Window::new(0, 16)),
+            Job::unit(2, Window::new(0, 16)),
+        ];
+        assert_eq!(max_verified_gamma(&jobs, 1, 64), 8);
+    }
+
+    #[test]
+    fn infeasible_reports_zero() {
+        let jobs = vec![
+            Job::unit(1, Window::new(0, 1)),
+            Job::unit(2, Window::new(0, 1)),
+        ];
+        assert_eq!(max_verified_gamma(&jobs, 1, 8), 0);
+    }
+
+    #[test]
+    fn optimal_schedules_feasible_sets() {
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job::unit(i, Window::new(i, i + 2)))
+            .collect();
+        assert!(optimal_schedule(&jobs, 1).is_some());
+    }
+}

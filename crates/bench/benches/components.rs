@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the building blocks: alignment math, quota
+//! computation, and the offline EDF feasibility oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use realloc_core::feasibility::edf_schedule;
+use realloc_core::{Job, Window};
+use realloc_reservation::quota::{fulfilled_quotas, reservation_count, Demand};
+use std::hint::black_box;
+
+fn bench_alignment(c: &mut Criterion) {
+    c.bench_function("aligned_subwindow", |b| {
+        let windows: Vec<Window> = (0..1024u64)
+            .map(|i| Window::new(i * 7 + 3, i * 7 + 3 + (i % 113) + 1))
+            .collect();
+        b.iter(|| {
+            for w in &windows {
+                black_box(w.aligned_subwindow());
+            }
+        })
+    });
+}
+
+fn bench_quota(c: &mut Criterion) {
+    c.bench_function("fulfilled_quotas_chain8", |b| {
+        let demands: Vec<Demand> = (1..=8u32)
+            .map(|i| Demand {
+                span: 64 << i,
+                reservations: reservation_count(10 + i as u64, 1 << i, 0),
+            })
+            .collect();
+        b.iter(|| black_box(fulfilled_quotas(black_box(&demands), 256)))
+    });
+}
+
+fn bench_offline_edf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_edf");
+    for &n in &[1_000u64, 10_000] {
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job::unit(i, Window::new(i / 2, i / 2 + 64)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| black_box(edf_schedule(jobs, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_alignment, bench_quota, bench_offline_edf
+}
+criterion_main!(benches);

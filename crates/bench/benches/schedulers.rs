@@ -1,0 +1,99 @@
+//! E12 — scheduler throughput (per-request latency) across policies,
+//! active-set sizes, and machine counts.
+//!
+//! Regenerates the throughput comparison of EXPERIMENTS.md: the
+//! reservation scheduler's per-request work stays flat as `n` grows, the
+//! naive baseline is comparable on slack-heavy churn, and EDF re-planning
+//! degrades linearly (it recomputes the whole schedule every request).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use realloc_baselines::{EdfRescheduler, NaivePeckingScheduler};
+use realloc_core::{Reallocator, RequestSeq};
+use realloc_multi::{ReallocatingScheduler, TheoremOneScheduler};
+use realloc_reservation::ReservationScheduler;
+use realloc_sim::harness::churn_seq;
+
+fn replay<R: Reallocator>(sched: &mut R, seq: &RequestSeq) {
+    for &r in seq.requests() {
+        sched.request(r).expect("bench stream is serviceable");
+    }
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_vs_n");
+    for &n in &[100usize, 400, 1600] {
+        let seq = churn_seq(1, 8, n, 1 << 12, false, 4 * n, 9);
+        group.throughput(Throughput::Elements(seq.len() as u64));
+        group.bench_with_input(BenchmarkId::new("reservation", n), &seq, |b, seq| {
+            b.iter(|| {
+                let mut s = ReallocatingScheduler::from_factory(1, ReservationScheduler::new);
+                replay(&mut s, seq);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reservation_trim", n), &seq, |b, seq| {
+            b.iter(|| {
+                let mut s = TheoremOneScheduler::theorem_one(1, 8);
+                replay(&mut s, seq);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &seq, |b, seq| {
+            b.iter(|| {
+                let mut s =
+                    ReallocatingScheduler::from_factory(1, NaivePeckingScheduler::new);
+                replay(&mut s, seq);
+            })
+        });
+        // EDF recomputes everything per request: only bench small n.
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("edf", n), &seq, |b, seq| {
+                b.iter(|| {
+                    let mut s = EdfRescheduler::new(1);
+                    replay(&mut s, seq);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_vs_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_vs_machines");
+    for &m in &[1usize, 4, 16] {
+        let seq = churn_seq(m, 16, 100 * m, 1 << 10, true, 3000, 14);
+        group.throughput(Throughput::Elements(seq.len() as u64));
+        group.bench_with_input(BenchmarkId::new("theorem_one", m), &seq, |b, seq| {
+            b.iter(|| {
+                let mut s = TheoremOneScheduler::theorem_one(m, 16);
+                replay(&mut s, seq);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_vs_span");
+    for &exp in &[8u32, 14, 20] {
+        let seq = churn_seq(1, 8, 400, 1 << exp, false, 3000, 27);
+        group.throughput(Throughput::Elements(seq.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reservation", format!("2^{exp}")),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    let mut s =
+                        ReallocatingScheduler::from_factory(1, ReservationScheduler::new);
+                    replay(&mut s, seq);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vs_n, bench_vs_machines, bench_vs_span
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benches live under `benches/`; this crate has no library code.

@@ -1,0 +1,70 @@
+//! Error type shared by all schedulers.
+
+use crate::job::JobId;
+use crate::window::Window;
+use std::fmt;
+
+/// Errors returned by reallocating schedulers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// An insert reused the id of an active job.
+    DuplicateJob(JobId),
+    /// A delete (or lookup) named a job that is not active.
+    UnknownJob(JobId),
+    /// A single-machine aligned scheduler was handed an unaligned window.
+    /// (The alignment wrapper of §5 must be applied first.)
+    UnalignedWindow(Window),
+    /// The scheduler could not find room for a job. For the reservation
+    /// scheduler this means the underallocation precondition of Theorem 1 /
+    /// Lemma 8 is violated; the instance may still be feasible offline.
+    CapacityExhausted {
+        /// The job that could not be placed.
+        job: JobId,
+        /// Human-readable context (which level / window / interval failed).
+        detail: String,
+    },
+    /// The request stream is invalid for this scheduler (e.g. a sized job
+    /// handed to the unit-size scheduler).
+    UnsupportedJob {
+        /// The offending job.
+        job: JobId,
+        /// Why it is unsupported.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateJob(id) => write!(f, "job {id} is already active"),
+            Error::UnknownJob(id) => write!(f, "job {id} is not active"),
+            Error::UnalignedWindow(w) => {
+                write!(f, "window {w} is not aligned (span power-of-two, start multiple of span)")
+            }
+            Error::CapacityExhausted { job, detail } => {
+                write!(f, "no capacity for job {job}: {detail}")
+            }
+            Error::UnsupportedJob { job, detail } => {
+                write!(f, "job {job} unsupported: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::CapacityExhausted {
+            job: JobId(4),
+            detail: "level 1 window [0, 64) has no fulfilled empty slot".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("j4"));
+        assert!(s.contains("level 1"));
+    }
+}

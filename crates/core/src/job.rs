@@ -1,0 +1,93 @@
+//! The job model of paper §2.
+
+use crate::window::Window;
+use std::fmt;
+
+/// Opaque job identifier supplied by the request stream
+/// (`⟨INSERTJOB, name, arrival, deadline⟩` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+/// A job: a unit of work that must receive one timeslot inside its window.
+///
+/// `size` is 1 for everything in the paper's main construction; the field
+/// exists for the Observation 13 experiments (jobs of size `k > 1`), which
+/// only the sized baselines consume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Identifier from the request stream.
+    pub id: JobId,
+    /// The slots in which the job may be scheduled.
+    pub window: Window,
+    /// Processing time in slots (1 in the paper's main model).
+    pub size: u64,
+}
+
+impl Job {
+    /// A unit-size job (the paper's model).
+    pub fn unit(id: impl Into<JobId>, window: Window) -> Self {
+        Job {
+            id: id.into(),
+            window,
+            size: 1,
+        }
+    }
+
+    /// A job of integer size `size ≥ 1` (Observation 13 experiments only).
+    pub fn sized(id: impl Into<JobId>, window: Window, size: u64) -> Self {
+        assert!(size >= 1, "job size must be at least 1");
+        Job {
+            id: id.into(),
+            window,
+            size,
+        }
+    }
+
+    /// Shorthand for the window's span.
+    pub fn span(&self) -> u64 {
+        self.window.span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_job_has_size_one() {
+        let j = Job::unit(7, Window::new(0, 4));
+        assert_eq!(j.id, JobId(7));
+        assert_eq!(j.size, 1);
+        assert_eq!(j.span(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        let _ = Job::sized(1, Window::new(0, 4), 0);
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(format!("{}", JobId(3)), "j3");
+        assert_eq!(format!("{:?}", JobId(3)), "j3");
+    }
+}

@@ -1,0 +1,242 @@
+//! On-line request sequences (paper §2).
+//!
+//! An execution is a sequence of `⟨INSERTJOB, name, arrival, deadline⟩` and
+//! `⟨DELETEJOB, name⟩` requests; after each request the scheduler must
+//! expose a feasible schedule of the *active* jobs (inserted, not yet
+//! deleted).
+
+use crate::job::JobId;
+use crate::window::Window;
+use std::collections::BTreeMap;
+
+/// A single scheduling request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `⟨INSERTJOB, id, window⟩`.
+    Insert {
+        /// Job identifier; must not collide with an active job.
+        id: JobId,
+        /// Window of admissible slots.
+        window: Window,
+    },
+    /// `⟨DELETEJOB, id⟩`.
+    Delete {
+        /// Identifier of an active job.
+        id: JobId,
+    },
+}
+
+impl Request {
+    /// The job the request concerns.
+    pub fn job_id(&self) -> JobId {
+        match *self {
+            Request::Insert { id, .. } | Request::Delete { id } => id,
+        }
+    }
+
+    /// `true` for inserts.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Request::Insert { .. })
+    }
+}
+
+/// A well-formedness report for a request sequence (see
+/// [`RequestSeq::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeqError {
+    /// An insert reused the id of a still-active job.
+    DuplicateInsert(JobId),
+    /// A delete named a job that is not active.
+    UnknownDelete(JobId),
+}
+
+/// An owned request sequence with bookkeeping helpers used by generators,
+/// the simulator and the tests.
+#[derive(Clone, Debug, Default)]
+pub struct RequestSeq {
+    requests: Vec<Request>,
+}
+
+impl RequestSeq {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing request vector.
+    pub fn from_vec(requests: Vec<Request>) -> Self {
+        RequestSeq { requests }
+    }
+
+    /// Appends an insert request.
+    pub fn insert(&mut self, id: impl Into<JobId>, window: Window) -> &mut Self {
+        self.requests.push(Request::Insert {
+            id: id.into(),
+            window,
+        });
+        self
+    }
+
+    /// Appends a delete request.
+    pub fn delete(&mut self, id: impl Into<JobId>) -> &mut Self {
+        self.requests.push(Request::Delete { id: id.into() });
+        self
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, r: Request) -> &mut Self {
+        self.requests.push(r);
+        self
+    }
+
+    /// The requests in order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when there are no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterates over the requests.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.requests.iter()
+    }
+
+    /// Checks inserts/deletes pair up: no duplicate active ids, no deletes
+    /// of inactive jobs.
+    pub fn validate(&self) -> Result<(), SeqError> {
+        let mut active: BTreeMap<JobId, Window> = BTreeMap::new();
+        for r in &self.requests {
+            match *r {
+                Request::Insert { id, window } => {
+                    if active.insert(id, window).is_some() {
+                        return Err(SeqError::DuplicateInsert(id));
+                    }
+                }
+                Request::Delete { id } => {
+                    if active.remove(&id).is_none() {
+                        return Err(SeqError::UnknownDelete(id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest number of simultaneously active jobs over the sequence.
+    pub fn peak_active(&self) -> usize {
+        let mut active = 0usize;
+        let mut peak = 0usize;
+        for r in &self.requests {
+            match r {
+                Request::Insert { .. } => {
+                    active += 1;
+                    peak = peak.max(active);
+                }
+                Request::Delete { .. } => active = active.saturating_sub(1),
+            }
+        }
+        peak
+    }
+
+    /// The largest window span appearing in any insert (the paper's `Δ`).
+    pub fn max_span(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter_map(|r| match r {
+                Request::Insert { window, .. } => Some(window.span()),
+                Request::Delete { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Replays the sequence, yielding after each request the map of active
+    /// jobs. Useful for validation harnesses.
+    pub fn active_after_each(&self) -> Vec<BTreeMap<JobId, Window>> {
+        let mut active: BTreeMap<JobId, Window> = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.requests.len());
+        for r in &self.requests {
+            match *r {
+                Request::Insert { id, window } => {
+                    active.insert(id, window);
+                }
+                Request::Delete { id } => {
+                    active.remove(&id);
+                }
+            }
+            out.push(active.clone());
+        }
+        out
+    }
+
+    /// Concatenates another sequence onto this one.
+    pub fn extend(&mut self, other: RequestSeq) -> &mut Self {
+        self.requests.extend(other.requests);
+        self
+    }
+}
+
+impl IntoIterator for RequestSeq {
+    type Item = Request;
+    type IntoIter = std::vec::IntoIter<Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.into_iter()
+    }
+}
+
+impl FromIterator<Request> for RequestSeq {
+    fn from_iter<T: IntoIterator<Item = Request>>(iter: T) -> Self {
+        RequestSeq {
+            requests: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate() {
+        let mut s = RequestSeq::new();
+        s.insert(1, Window::new(0, 4))
+            .insert(2, Window::new(0, 8))
+            .delete(1)
+            .insert(1, Window::new(4, 8));
+        assert_eq!(s.len(), 4);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.peak_active(), 2);
+        assert_eq!(s.max_span(), 8);
+    }
+
+    #[test]
+    fn duplicate_insert_detected() {
+        let mut s = RequestSeq::new();
+        s.insert(1, Window::new(0, 4)).insert(1, Window::new(0, 8));
+        assert_eq!(s.validate(), Err(SeqError::DuplicateInsert(JobId(1))));
+    }
+
+    #[test]
+    fn unknown_delete_detected() {
+        let mut s = RequestSeq::new();
+        s.delete(9);
+        assert_eq!(s.validate(), Err(SeqError::UnknownDelete(JobId(9))));
+    }
+
+    #[test]
+    fn active_after_each_tracks_state() {
+        let mut s = RequestSeq::new();
+        s.insert(1, Window::new(0, 2)).delete(1);
+        let states = s.active_after_each();
+        assert_eq!(states[0].len(), 1);
+        assert_eq!(states[1].len(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A line-oriented text format for request sequences, so workloads can be
+//! saved, shared and replayed reproducibly (`realloc-cli` consumes it).
+//!
+//! Format — one request per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # id arrival deadline
+//! + 17 4 12      # INSERTJOB  j17, window [4, 12)
+//! - 17           # DELETEJOB  j17
+//! ```
+
+use crate::job::JobId;
+use crate::request::{Request, RequestSeq};
+use crate::window::Window;
+use std::fmt::Write as _;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a request sequence to the text format.
+pub fn to_text(seq: &RequestSeq) -> String {
+    let mut out = String::with_capacity(seq.len() * 16);
+    out.push_str("# realloc-sched request sequence: '+ id arrival deadline' / '- id'\n");
+    for r in seq.iter() {
+        match *r {
+            Request::Insert { id, window } => {
+                writeln!(out, "+ {} {} {}", id.0, window.start(), window.end()).unwrap();
+            }
+            Request::Delete { id } => {
+                writeln!(out, "- {}", id.0).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Parses the text format back into a request sequence.
+pub fn from_text(text: &str) -> Result<RequestSeq, ParseError> {
+    let mut seq = RequestSeq::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let op = parts.next().expect("non-empty line has a token");
+        let err = |message: String| ParseError { line, message };
+        let mut num = |what: &str| -> Result<u64, ParseError> {
+            parts
+                .next()
+                .ok_or_else(|| err(format!("missing {what}")))?
+                .parse::<u64>()
+                .map_err(|e| err(format!("bad {what}: {e}")))
+        };
+        match op {
+            "+" => {
+                let id = num("id")?;
+                let arrival = num("arrival")?;
+                let deadline = num("deadline")?;
+                if deadline <= arrival {
+                    return Err(err(format!(
+                        "deadline {deadline} must exceed arrival {arrival}"
+                    )));
+                }
+                seq.push(Request::Insert {
+                    id: JobId(id),
+                    window: Window::new(arrival, deadline),
+                });
+            }
+            "-" => {
+                let id = num("id")?;
+                seq.push(Request::Delete { id: JobId(id) });
+            }
+            other => {
+                return Err(err(format!("unknown op '{other}' (expected '+' or '-')")));
+            }
+        }
+        // Trailing garbage is an error — silently ignoring it hides typos.
+        if let Some(extra) = parts.next() {
+            return Err(ParseError {
+                line,
+                message: format!("unexpected trailing token '{extra}'"),
+            });
+        }
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut seq = RequestSeq::new();
+        seq.insert(1, Window::new(0, 8))
+            .insert(2, Window::new(3, 5))
+            .delete(1)
+            .insert(3, Window::new(100, 1 << 40));
+        let text = to_text(&seq);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.requests(), seq.requests());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# header\n+ 1 0 4  # inline comment\n\n- 1\n";
+        let seq = from_text(text).unwrap();
+        assert_eq!(seq.len(), 2);
+        seq.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        for (text, line) in [
+            ("+ 1 0", 1),
+            ("\n* 1 0 4", 2),
+            ("+ 1 4 4", 1),
+            ("+ 1 0 4 9", 1),
+            ("- x", 1),
+        ] {
+            let e = from_text(text).unwrap_err();
+            assert_eq!(e.line, line, "input {text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_sequence() {
+        assert!(from_text("").unwrap().is_empty());
+        assert!(from_text("# only comments\n").unwrap().is_empty());
+    }
+}

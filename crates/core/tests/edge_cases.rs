@@ -1,0 +1,123 @@
+//! Edge-case tests for the core types: extreme coordinates, degenerate
+//! instances, and cost-accounting corners.
+
+use realloc_core::feasibility::{edf_feasible, edf_schedule, gamma_underallocated_blocked};
+use realloc_core::{log_star, Job, JobId, Move, Placement, RequestOutcome, Tower, Window};
+
+#[test]
+fn window_at_axis_extremes() {
+    let w = Window::new(0, 1);
+    assert!(w.is_aligned());
+    assert_eq!(w.aligned_subwindow(), w);
+
+    // Near the top of the u64 axis (but inside the scheduler's 2^63 cap).
+    let top = 1u64 << 62;
+    let w = Window::new(top - 8, top);
+    assert!(w.is_aligned());
+    assert_eq!(w.span(), 8);
+    let p = w.aligned_parent().unwrap();
+    assert!(p.contains(&w));
+}
+
+#[test]
+fn aligned_subwindow_of_giant_span() {
+    let w = Window::new(1, (1 << 62) + 1);
+    let a = w.aligned_subwindow();
+    assert!(a.is_aligned());
+    assert!(w.contains(&a));
+    assert!(a.span() * 4 >= w.span());
+}
+
+#[test]
+fn single_slot_instances() {
+    // One job in one slot is feasible; two are not.
+    let j1 = Job::unit(1, Window::new(5, 6));
+    let j2 = Job::unit(2, Window::new(5, 6));
+    assert!(edf_feasible(&[j1], 1));
+    assert!(!edf_feasible(&[j1, j2], 1));
+    assert!(edf_feasible(&[j1, j2], 2));
+}
+
+#[test]
+fn empty_instance_is_feasible() {
+    assert!(edf_feasible(&[], 1));
+    assert_eq!(edf_schedule(&[], 3).unwrap().len(), 0);
+    assert!(gamma_underallocated_blocked(&[], 1, 100));
+}
+
+#[test]
+fn staircase_is_tight_but_feasible() {
+    // The Lemma 12 staircase: feasible, but exactly 1-underallocated.
+    let jobs: Vec<Job> = (0..200u64)
+        .map(|j| Job::unit(j, Window::new(j, j + 2)))
+        .collect();
+    assert!(edf_feasible(&jobs, 1));
+    assert!(gamma_underallocated_blocked(&jobs, 1, 1));
+    assert!(!gamma_underallocated_blocked(&jobs, 1, 2));
+}
+
+#[test]
+fn log_star_boundaries() {
+    // Exact tower boundaries of the paper ladder (ceil-lg chains):
+    // 32 → 5 → 3 → 2 → 1 and 256 → 8 → 3 → 2 → 1.
+    assert_eq!(log_star(32), 4);
+    assert_eq!(log_star(256), 4);
+    // Monotone across the interesting range.
+    assert!(log_star(1 << 20) <= log_star(u64::MAX));
+}
+
+#[test]
+fn tower_single_threshold() {
+    let t = Tower::custom(vec![2]);
+    assert_eq!(t.level_of(1), 0);
+    assert_eq!(t.level_of(2), 0);
+    assert_eq!(t.level_of(3), 1);
+    assert_eq!(t.interval_span(1), 2);
+    assert_eq!(t.max_levels(), 2);
+}
+
+#[test]
+fn outcome_netting_insert_then_delete_cancels() {
+    // A job inserted and removed within one outcome nets to nothing
+    // chargeable.
+    let p = Placement { machine: 0, slot: 3 };
+    let mut o = RequestOutcome::empty();
+    o.push(Move {
+        job: JobId(1),
+        from: None,
+        to: Some(p),
+    });
+    o.push(Move {
+        job: JobId(1),
+        from: Some(p),
+        to: None,
+    });
+    let n = o.netted();
+    assert_eq!(n.reallocation_cost(), 0);
+    assert_eq!(n.migration_cost(), 0);
+}
+
+#[test]
+fn edf_dense_block_plus_stragglers() {
+    // A fully dense block [0, 64) plus loose jobs after it.
+    let mut jobs: Vec<Job> = (0..64u64)
+        .map(|j| Job::unit(j, Window::new(0, 64)))
+        .collect();
+    jobs.push(Job::unit(100, Window::new(64, 1 << 40)));
+    jobs.push(Job::unit(101, Window::new(64, 66)));
+    let snap = edf_schedule(&jobs, 1).expect("feasible");
+    assert_eq!(snap.len(), 66);
+    // Adding one more job confined to the dense block tips it over.
+    jobs.push(Job::unit(102, Window::new(0, 64)));
+    assert!(!edf_feasible(&jobs, 1));
+}
+
+#[test]
+fn window_display_and_ordering() {
+    let a = Window::new(0, 4);
+    let b = Window::new(0, 8);
+    let c = Window::new(4, 8);
+    assert!(a < b && b < c);
+    assert_eq!(format!("{a}"), "[0, 4)");
+    assert_eq!(format!("{a:?}"), "[0, 4)");
+}

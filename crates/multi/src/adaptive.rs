@@ -1,0 +1,337 @@
+//! Adaptive degradation: `O(log*)` when there is slack, `O(log)` when
+//! there is not.
+//!
+//! Theorem 1 needs `γ`-underallocated inputs; when the instance over-packs,
+//! the reservation scheduler refuses (its Lemma 8 guarantee is gone) even
+//! though the instance may still be feasible — and Lemma 4's naive
+//! pecking-order scheduler would happily serve it at `Θ(log)` cost, since
+//! it tolerates *any* feasible sequence of aligned requests.
+//!
+//! [`AdaptiveScheduler`] combines the two: it runs a fast primary backend
+//! and, when the primary refuses an insert, rebuilds the whole schedule
+//! into a degraded backend (one `Θ(n)` rebuild — unavoidable by Lemma 12
+//! in that regime) and continues there. Once enough jobs have departed
+//! (active count dropping below [`RECOVER_FRACTION`] of the load at
+//! degradation time), it attempts to rebuild back into a fresh primary;
+//! acceptance by the reservation scheduler is history independent
+//! (Observation 7), so the span-sorted re-insertion attempt is a reliable
+//! probe of whether the *current multiset* fits the primary again. A
+//! failed probe lowers the threshold so probes stay amortized-cheap.
+//!
+//! This addresses the practical gap the paper leaves open between
+//! Theorem 1 (needs slack) and Lemmas 11/12 (no algorithm does well
+//! without slack): degrade gracefully, recover automatically.
+
+use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Window};
+use std::collections::HashMap;
+
+/// Fraction of the degradation-time load below which recovery is probed.
+pub const RECOVER_FRACTION: f64 = 0.75;
+
+/// Which backend is serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The fast (reservation) backend.
+    Fast,
+    /// The degraded (naive) backend.
+    Degraded,
+}
+
+/// A single-machine scheduler switching between a fast primary `P` and a
+/// slack-tolerant degraded backend `D`.
+#[derive(Clone, Debug)]
+pub struct AdaptiveScheduler<P, D, FP, FD> {
+    primary: Option<P>,
+    degraded: Option<D>,
+    make_primary: FP,
+    make_degraded: FD,
+    windows: HashMap<JobId, Window>,
+    /// Probe threshold: attempt recovery when `active < threshold`.
+    recover_below: usize,
+    degradations: u64,
+    recoveries: u64,
+}
+
+impl<P, D, FP, FD> AdaptiveScheduler<P, D, FP, FD>
+where
+    P: SingleMachineReallocator,
+    D: SingleMachineReallocator,
+    FP: Fn() -> P,
+    FD: Fn() -> D,
+{
+    /// New adaptive scheduler starting in fast mode.
+    pub fn new(make_primary: FP, make_degraded: FD) -> Self {
+        let primary = make_primary();
+        AdaptiveScheduler {
+            primary: Some(primary),
+            degraded: None,
+            make_primary,
+            make_degraded,
+            windows: HashMap::new(),
+            recover_below: 0,
+            degradations: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current serving mode.
+    pub fn mode(&self) -> Mode {
+        if self.primary.is_some() {
+            Mode::Fast
+        } else {
+            Mode::Degraded
+        }
+    }
+
+    /// Number of fast→degraded switches.
+    pub fn degradations(&self) -> u64 {
+        self.degradations
+    }
+
+    /// Number of degraded→fast switches.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Span-sorted rebuild of the active set (plus `extra`) into a fresh
+    /// scheduler; `None` if the target refuses any job.
+    fn rebuild_into<T: SingleMachineReallocator>(
+        &self,
+        target: &mut T,
+        extra: Option<(JobId, Window)>,
+    ) -> Option<()> {
+        let mut jobs: Vec<(JobId, Window)> =
+            self.windows.iter().map(|(&id, &w)| (id, w)).collect();
+        jobs.extend(extra);
+        jobs.sort_by_key(|&(id, w)| (w.span(), w.start(), id));
+        for &(id, w) in &jobs {
+            if target.insert(id, w).is_err() {
+                return None;
+            }
+        }
+        Some(())
+    }
+
+    /// Diff of the current assignments against `fresh`'s, as slot moves.
+    fn diff_moves<T: SingleMachineReallocator>(
+        old: &HashMap<JobId, Slot>,
+        fresh: &T,
+    ) -> Vec<SlotMove> {
+        fresh
+            .assignments()
+            .into_iter()
+            .filter_map(|(id, slot)| match old.get(&id) {
+                Some(&s) if s == slot => None,
+                other => Some(SlotMove {
+                    job: id,
+                    from: other.copied(),
+                    to: Some(slot),
+                }),
+            })
+            .collect()
+    }
+
+    fn current_assignments(&self) -> HashMap<JobId, Slot> {
+        match (&self.primary, &self.degraded) {
+            (Some(p), _) => p.assignments().into_iter().collect(),
+            (_, Some(d)) => d.assignments().into_iter().collect(),
+            _ => unreachable!("one backend is always live"),
+        }
+    }
+
+    fn try_recover(&mut self, moves: &mut Vec<SlotMove>) {
+        if self.primary.is_some() || self.windows.len() >= self.recover_below {
+            return;
+        }
+        let mut fresh = (self.make_primary)();
+        if self.rebuild_into(&mut fresh, None).is_some() {
+            let old = self.current_assignments();
+            moves.extend(Self::diff_moves(&old, &fresh));
+            self.primary = Some(fresh);
+            self.degraded = None;
+            self.recoveries += 1;
+        } else {
+            // Back off: require a further drop before the next probe.
+            self.recover_below = self.windows.len();
+        }
+    }
+}
+
+impl<P, D, FP, FD> SingleMachineReallocator for AdaptiveScheduler<P, D, FP, FD>
+where
+    P: SingleMachineReallocator,
+    D: SingleMachineReallocator,
+    FP: Fn() -> P,
+    FD: Fn() -> D,
+{
+    fn insert(&mut self, id: JobId, window: Window) -> Result<Vec<SlotMove>, Error> {
+        if self.windows.contains_key(&id) {
+            return Err(Error::DuplicateJob(id));
+        }
+        if let Some(p) = self.primary.as_mut() {
+            match p.insert(id, window) {
+                Ok(moves) => {
+                    self.windows.insert(id, window);
+                    return Ok(moves);
+                }
+                Err(Error::CapacityExhausted { .. }) => {
+                    // Degrade: rebuild everything (incl. the new job) into
+                    // the slack-tolerant backend.
+                    let mut fresh = (self.make_degraded)();
+                    let Some(()) = self.rebuild_into(&mut fresh, Some((id, window))) else {
+                        return Err(Error::CapacityExhausted {
+                            job: id,
+                            detail: "infeasible even for the degraded backend".into(),
+                        });
+                    };
+                    let old = self.current_assignments();
+                    let moves = Self::diff_moves(&old, &fresh);
+                    self.primary = None;
+                    self.degraded = Some(fresh);
+                    self.windows.insert(id, window);
+                    self.degradations += 1;
+                    self.recover_below =
+                        (self.windows.len() as f64 * RECOVER_FRACTION) as usize;
+                    return Ok(moves);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let d = self.degraded.as_mut().expect("degraded mode");
+        let moves = d.insert(id, window)?;
+        self.windows.insert(id, window);
+        Ok(moves)
+    }
+
+    fn delete(&mut self, id: JobId) -> Result<Vec<SlotMove>, Error> {
+        let mut moves = match (self.primary.as_mut(), self.degraded.as_mut()) {
+            (Some(p), _) => p.delete(id)?,
+            (_, Some(d)) => d.delete(id)?,
+            _ => unreachable!(),
+        };
+        self.windows.remove(&id);
+        self.try_recover(&mut moves);
+        Ok(moves)
+    }
+
+    fn slot_of(&self, id: JobId) -> Option<Slot> {
+        match (&self.primary, &self.degraded) {
+            (Some(p), _) => p.slot_of(id),
+            (_, Some(d)) => d.slot_of(id),
+            _ => unreachable!(),
+        }
+    }
+
+    fn assignments(&self) -> Vec<(JobId, Slot)> {
+        match (&self.primary, &self.degraded) {
+            (Some(p), _) => p.assignments(),
+            (_, Some(d)) => d.assignments(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_baselines::NaivePeckingScheduler;
+    use realloc_reservation::ReservationScheduler;
+
+    type Adaptive = AdaptiveScheduler<
+        ReservationScheduler,
+        NaivePeckingScheduler,
+        fn() -> ReservationScheduler,
+        fn() -> NaivePeckingScheduler,
+    >;
+
+    fn adaptive() -> Adaptive {
+        AdaptiveScheduler::new(ReservationScheduler::new, NaivePeckingScheduler::new)
+    }
+
+    fn assert_feasible(s: &Adaptive) {
+        let mut seen = std::collections::HashSet::new();
+        for (id, slot) in s.assignments() {
+            let w = s.windows[&id];
+            assert!(w.contains_slot(slot), "{id} at {slot} outside {w}");
+            assert!(seen.insert(slot), "slot collision at {slot}");
+        }
+        assert_eq!(s.assignments().len(), s.active_count());
+    }
+
+    /// Saturated nest (the E4a construction) up to span `top`.
+    fn saturate(s: &mut Adaptive, top: u64) -> u64 {
+        let mut id = 0u64;
+        let mut span = 2u64;
+        while span <= top {
+            for _ in 0..span / 2 {
+                s.insert(JobId(id), Window::with_span(0, span)).unwrap();
+                id += 1;
+            }
+            span *= 2;
+        }
+        id
+    }
+
+    #[test]
+    fn degrades_on_overpacking_and_serves() {
+        let mut s = adaptive();
+        let n = saturate(&mut s, 512);
+        assert_eq!(s.mode(), Mode::Degraded, "saturated nest must degrade");
+        assert!(s.degradations() >= 1);
+        assert_eq!(s.active_count() as u64, n);
+        // Still serving: the probe insert that defeats the fast backend.
+        s.insert(JobId(9999), Window::new(0, 1)).unwrap();
+        assert_feasible(&s);
+    }
+
+    #[test]
+    fn recovers_when_slack_returns() {
+        let mut s = adaptive();
+        let n = saturate(&mut s, 256);
+        assert_eq!(s.mode(), Mode::Degraded);
+        // Delete most jobs; recovery probes fire as the count drops.
+        for id in 0..n {
+            s.delete(JobId(id)).unwrap();
+            if s.mode() == Mode::Fast {
+                break;
+            }
+        }
+        assert_eq!(s.mode(), Mode::Fast, "slack returned but no recovery");
+        assert!(s.recoveries() >= 1);
+        assert_feasible(&s);
+        // And the fast path works again.
+        s.insert(JobId(77777), Window::new(0, 64)).unwrap();
+        assert_feasible(&s);
+    }
+
+    #[test]
+    fn fast_mode_untouched_under_slack() {
+        let mut s = adaptive();
+        for i in 0..32u64 {
+            s.insert(JobId(i), Window::with_span((i % 8) * 256, 256)).unwrap();
+        }
+        assert_eq!(s.mode(), Mode::Fast);
+        assert_eq!(s.degradations(), 0);
+        assert_feasible(&s);
+    }
+
+    #[test]
+    fn truly_infeasible_rejected_in_both_modes() {
+        let mut s = adaptive();
+        s.insert(JobId(1), Window::new(0, 1)).unwrap();
+        assert!(matches!(
+            s.insert(JobId(2), Window::new(0, 1)),
+            Err(Error::CapacityExhausted { .. })
+        ));
+        assert_eq!(s.active_count(), 1);
+        assert_feasible(&s);
+    }
+}

@@ -1,0 +1,31 @@
+//! # realloc-multi
+//!
+//! The outer layers of Theorem 1 of **"Reallocation Problems in
+//! Scheduling"** (Bender et al., SPAA 2013):
+//!
+//! * **§5 alignment**: every incoming window `W` is replaced by
+//!   `ALIGNED(W)` — the leftmost largest aligned subwindow, of span
+//!   `≥ |W|/4` — so the per-machine scheduler only ever sees recursively
+//!   aligned instances (Lemma 10: a `4γ`-underallocated arbitrary instance
+//!   stays `γ`-underallocated after alignment).
+//!
+//! * **§3 delegation**: per aligned window `W`, jobs are spread round-robin
+//!   over the `m` machines, keeping every machine's share of `W`-jobs
+//!   within one of `n_W / m` (Lemma 3: each machine's sub-instance stays
+//!   underallocated). Inserts never migrate; a delete migrates **at most
+//!   one** job — from the round-robin tail machine to the machine that
+//!   lost a job — which is Theorem 1's migration bound.
+//!
+//! [`ReallocatingScheduler`] is generic over the per-machine backend, so
+//! the same wrapper drives the paper's reservation scheduler
+//! ([`TheoremOneScheduler`]) and the Lemma 4 naive baseline, making the
+//! experiment comparisons apples-to-apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod scheduler;
+
+pub use adaptive::{AdaptiveScheduler, Mode};
+pub use scheduler::{ReallocatingScheduler, TheoremOneScheduler};

@@ -1,0 +1,338 @@
+//! The full Theorem-1 pipeline: align → delegate → per-machine backend.
+
+use realloc_core::cost::Placement;
+use realloc_core::{
+    Error, JobId, Move, Reallocator, RequestOutcome, ScheduleSnapshot,
+    SingleMachineReallocator, Window,
+};
+use realloc_reservation::TrimmedScheduler;
+use std::collections::{HashMap, HashSet};
+
+/// Per-effective-window delegation bookkeeping (paper §3).
+#[derive(Clone, Debug)]
+struct WindowGroup {
+    /// Total jobs with this effective window across machines (`n_W`).
+    count: u64,
+    /// First machine of this window's rotation. The paper starts every
+    /// window at machine 0; hashing the start preserves Lemma 3 (each
+    /// machine still holds `⌊n_W/m⌋` or `⌈n_W/m⌉` jobs of the window)
+    /// while balancing *aggregate* load across windows.
+    start: usize,
+    /// Which jobs of this window live on each machine.
+    per_machine: Vec<HashSet<JobId>>,
+}
+
+impl WindowGroup {
+    fn new(machines: usize, window: Window) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        window.hash(&mut h);
+        WindowGroup {
+            count: 0,
+            start: (h.finish() % machines as u64) as usize,
+            per_machine: vec![HashSet::new(); machines],
+        }
+    }
+
+    /// Machine for this window's job number `i` (0-based).
+    fn machine_of(&self, i: u64, machines: usize) -> usize {
+        ((self.start as u64 + i) % machines as u64) as usize
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct JobInfo {
+    original: Window,
+    effective: Window,
+    machine: usize,
+}
+
+/// An `m`-machine reallocating scheduler for arbitrary windows, generic
+/// over the single-machine backend `B` (paper Theorem 1 when `B` is the
+/// reservation scheduler; the same wrapper also lifts the Lemma 4 naive
+/// baseline to `m` machines for comparisons).
+#[derive(Clone, Debug)]
+pub struct ReallocatingScheduler<B> {
+    machines: Vec<B>,
+    windows: HashMap<Window, WindowGroup>,
+    jobs: HashMap<JobId, JobInfo>,
+}
+
+/// The paper's headline configuration: reservation scheduler with `n*`
+/// trimming on every machine.
+pub type TheoremOneScheduler = ReallocatingScheduler<TrimmedScheduler>;
+
+impl TheoremOneScheduler {
+    /// Theorem-1 scheduler on `machines` machines with trim factor `gamma`.
+    pub fn theorem_one(machines: usize, gamma: u64) -> Self {
+        Self::with_backends((0..machines).map(|_| TrimmedScheduler::new(gamma)).collect())
+    }
+}
+
+impl<B: SingleMachineReallocator> ReallocatingScheduler<B> {
+    /// Builds the wrapper from per-machine backends (one per machine).
+    pub fn with_backends(machines: Vec<B>) -> Self {
+        assert!(!machines.is_empty(), "need at least one machine");
+        ReallocatingScheduler {
+            machines,
+            windows: HashMap::new(),
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// Builds `m` machines from a backend factory.
+    pub fn from_factory(m: usize, factory: impl Fn() -> B) -> Self {
+        Self::with_backends((0..m).map(|_| factory()).collect())
+    }
+
+    /// The effective (aligned) window a job would be scheduled under.
+    pub fn effective_window(window: Window) -> Window {
+        window.aligned_subwindow()
+    }
+
+    /// Read-only access to a machine's backend (tests, invariant checks).
+    pub fn backend(&self, machine: usize) -> &B {
+        &self.machines[machine]
+    }
+
+    /// The original (pre-alignment) window of an active job.
+    pub fn original_window(&self, id: JobId) -> Option<Window> {
+        self.jobs.get(&id).map(|i| i.original)
+    }
+}
+
+impl<B: SingleMachineReallocator> Reallocator for ReallocatingScheduler<B> {
+    fn machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    fn insert(&mut self, id: JobId, window: Window) -> Result<RequestOutcome, Error> {
+        if self.jobs.contains_key(&id) {
+            return Err(Error::DuplicateJob(id));
+        }
+        let m = self.machines.len();
+        let effective = Self::effective_window(window);
+        let group = self
+            .windows
+            .entry(effective)
+            .or_insert_with(|| WindowGroup::new(m, effective));
+        // §3: job number n_W goes to machine (start + n_W) mod m.
+        let machine = group.machine_of(group.count, m);
+        let slot_moves = self.machines[machine].insert(id, effective)?;
+        let group = self.windows.get_mut(&effective).expect("just inserted");
+        group.count += 1;
+        group.per_machine[machine].insert(id);
+        self.jobs.insert(
+            id,
+            JobInfo {
+                original: window,
+                effective,
+                machine,
+            },
+        );
+        Ok(RequestOutcome {
+            moves: slot_moves.into_iter().map(|sm| sm.on_machine(machine)).collect(),
+        })
+    }
+
+    fn delete(&mut self, id: JobId) -> Result<RequestOutcome, Error> {
+        let info = *self.jobs.get(&id).ok_or(Error::UnknownJob(id))?;
+        let m = self.machines.len();
+        let effective = info.effective;
+        let mi = info.machine;
+
+        let mut outcome = RequestOutcome::empty();
+        let slot_moves = self.machines[mi].delete(id)?;
+        outcome
+            .moves
+            .extend(slot_moves.into_iter().map(|sm| sm.on_machine(mi)));
+        self.jobs.remove(&id);
+
+        let group = self.windows.get_mut(&effective).expect("job had a group");
+        group.per_machine[mi].remove(&id);
+        group.count -= 1;
+        // §3 rebalance: the machine that must shrink is the round-robin
+        // tail — position count (0-based) after the decrement.
+        let tail = group.machine_of(group.count, m);
+        if tail != mi && group.count > 0 {
+            debug_assert!(
+                !group.per_machine[tail].is_empty(),
+                "round-robin invariant: tail machine must hold a job of {effective}"
+            );
+            if let Some(&mover) = group.per_machine[tail].iter().next() {
+                // Migrate `mover` from `tail` to `mi` (≤ 1 migration).
+                let del = self.machines[tail].delete(mover)?;
+                outcome
+                    .moves
+                    .extend(del.into_iter().map(|sm| sm.on_machine(tail)));
+                match self.machines[mi].insert(mover, effective) {
+                    Ok(ins) => {
+                        outcome
+                            .moves
+                            .extend(ins.into_iter().map(|sm| sm.on_machine(mi)));
+                        let group = self.windows.get_mut(&effective).unwrap();
+                        group.per_machine[tail].remove(&mover);
+                        group.per_machine[mi].insert(mover);
+                        self.jobs.get_mut(&mover).unwrap().machine = mi;
+                    }
+                    Err(e) => {
+                        // Put the mover back where it was; the delete itself
+                        // remains serviced.
+                        let back = self.machines[tail].insert(mover, effective)?;
+                        outcome
+                            .moves
+                            .extend(back.into_iter().map(|sm| sm.on_machine(tail)));
+                        debug_assert!(false, "migration re-insert failed: {e}");
+                    }
+                }
+            }
+        }
+        if self.windows[&effective].count == 0 {
+            self.windows.remove(&effective);
+        }
+        Ok(outcome)
+    }
+
+    fn snapshot(&self) -> ScheduleSnapshot {
+        let mut snap = ScheduleSnapshot::new();
+        for (&id, info) in &self.jobs {
+            let slot = self.machines[info.machine]
+                .slot_of(id)
+                .expect("active job must be scheduled on its machine");
+            snap.set(
+                id,
+                Placement {
+                    machine: info.machine,
+                    slot,
+                },
+            );
+        }
+        snap
+    }
+
+    fn active_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "realloc-multi"
+    }
+}
+
+/// Lifts one slot-level move to a machine; re-exported for harnesses that
+/// track single-machine schedulers directly.
+pub fn lift(sm: realloc_core::SlotMove, machine: usize) -> Move {
+    sm.on_machine(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_core::schedule::validate;
+    use realloc_reservation::ReservationScheduler;
+    use std::collections::BTreeMap;
+
+    fn validate_now<B: SingleMachineReallocator>(s: &ReallocatingScheduler<B>) {
+        let active: BTreeMap<JobId, Window> = s
+            .jobs
+            .iter()
+            .map(|(&id, info)| (id, info.original))
+            .collect();
+        validate(&s.snapshot(), &active, s.machines()).expect("feasible vs original windows");
+    }
+
+    #[test]
+    fn round_robin_delegation() {
+        let mut s = ReallocatingScheduler::from_factory(3, ReservationScheduler::new);
+        for i in 0..9u64 {
+            s.insert(JobId(i), Window::new(0, 64)).unwrap();
+        }
+        // 9 jobs over 3 machines: 3 each.
+        for m in 0..3 {
+            assert_eq!(s.backend(m).active_count(), 3, "machine {m}");
+        }
+        validate_now(&s);
+    }
+
+    #[test]
+    fn unaligned_windows_are_aligned_first() {
+        let mut s = ReallocatingScheduler::from_factory(2, ReservationScheduler::new);
+        let w = Window::new(3, 17); // span 14, unaligned
+        s.insert(JobId(1), w).unwrap();
+        let eff = ReallocatingScheduler::<ReservationScheduler>::effective_window(w);
+        assert!(eff.is_aligned());
+        assert!(w.contains(&eff));
+        assert!(eff.span() * 4 >= w.span());
+        // The job is scheduled within the original window.
+        validate_now(&s);
+    }
+
+    #[test]
+    fn delete_migrates_at_most_one_job() {
+        let mut s = ReallocatingScheduler::from_factory(4, ReservationScheduler::new);
+        for i in 0..16u64 {
+            s.insert(JobId(i), Window::new(0, 128)).unwrap();
+        }
+        for i in 0..16u64 {
+            let out = s.delete(JobId(i)).unwrap();
+            assert!(
+                out.netted().migration_cost() <= 1,
+                "delete of j{i} migrated {} jobs",
+                out.netted().migration_cost()
+            );
+            validate_now(&s);
+        }
+    }
+
+    #[test]
+    fn inserts_never_migrate() {
+        let mut s = ReallocatingScheduler::from_factory(3, ReservationScheduler::new);
+        for i in 0..24u64 {
+            let out = s.insert(JobId(i), Window::new(0, 256)).unwrap();
+            assert_eq!(out.netted().migration_cost(), 0);
+        }
+    }
+
+    #[test]
+    fn balance_invariant_held_under_churn() {
+        let mut s = ReallocatingScheduler::from_factory(3, ReservationScheduler::new);
+        let w = Window::new(0, 512);
+        for i in 0..12u64 {
+            s.insert(JobId(i), w).unwrap();
+        }
+        s.delete(JobId(0)).unwrap();
+        s.delete(JobId(5)).unwrap();
+        s.delete(JobId(10)).unwrap();
+        // 9 jobs left: 3 per machine (±0 since 9 = 3·3).
+        let counts: Vec<usize> = (0..3).map(|m| s.backend(m).active_count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 9);
+        assert!(counts.iter().all(|&c| c == 3), "unbalanced: {counts:?}");
+        validate_now(&s);
+    }
+
+    #[test]
+    fn theorem_one_constructor() {
+        let mut s = TheoremOneScheduler::theorem_one(2, 4);
+        for i in 0..10u64 {
+            s.insert(JobId(i), Window::new(i * 8 + 1, i * 8 + 8)).unwrap();
+        }
+        assert_eq!(s.active_count(), 10);
+        validate_now(&s);
+    }
+
+    #[test]
+    fn mixed_windows_spread_by_group() {
+        let mut s = ReallocatingScheduler::from_factory(2, ReservationScheduler::new);
+        // Two distinct windows delegate independently.
+        for i in 0..4u64 {
+            s.insert(JobId(i), Window::new(0, 64)).unwrap();
+        }
+        for i in 4..8u64 {
+            s.insert(JobId(i), Window::new(64, 128)).unwrap();
+        }
+        for m in 0..2 {
+            assert_eq!(s.backend(m).active_count(), 4);
+        }
+        validate_now(&s);
+    }
+}

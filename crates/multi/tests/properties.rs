@@ -1,0 +1,130 @@
+//! Property-based tests for the §3/§5 wrapper: migrations are bounded by
+//! one per request, per-window balance holds (Lemma 3's precondition), and
+//! schedules stay feasible against the original (unaligned) windows, for
+//! any density-bounded op sequence and any machine count.
+
+use proptest::prelude::*;
+use realloc_core::schedule::validate;
+use realloc_core::{JobId, Reallocator, SingleMachineReallocator, Window};
+use realloc_multi::ReallocatingScheduler;
+use realloc_reservation::ReservationScheduler;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { start: u64, span: u64 },
+    Delete { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..2000, 1u64..200).prop_map(|(start, span)| Op::Insert { start, span }),
+        2 => (0usize..64).prop_map(|idx| Op::Delete { idx }),
+    ]
+}
+
+const HORIZON: u64 = 1 << 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wrapper_invariants_under_churn(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        machines in 1usize..5,
+    ) {
+        let mut sched =
+            ReallocatingScheduler::from_factory(machines, ReservationScheduler::new);
+        let mut counts: HashMap<Window, u64> = HashMap::new();
+        let mut active: Vec<(JobId, Window)> = Vec::new();
+        let mut next = 0u64;
+        let m = machines as u64;
+
+        let ancestors = |mut w: Window| {
+            let mut out = vec![w];
+            while w.span() < HORIZON {
+                w = w.aligned_parent().unwrap();
+                out.push(w);
+            }
+            out
+        };
+
+        for op in &ops {
+            let outcome = match *op {
+                Op::Insert { start, span } => {
+                    let w = Window::with_span(start % (HORIZON / 2), span);
+                    let eff = w.aligned_subwindow();
+                    // Density guard at γ = 8 on the aligned effective set.
+                    if ancestors(eff).iter().any(|a| {
+                        counts.get(a).copied().unwrap_or(0) >= m * a.span() / 8
+                    }) {
+                        continue;
+                    }
+                    for a in ancestors(eff) {
+                        *counts.entry(a).or_insert(0) += 1;
+                    }
+                    let id = JobId(next);
+                    next += 1;
+                    let out = sched.insert(id, w).expect("density-bounded insert");
+                    active.push((id, w));
+                    // Inserts never migrate (paper §3).
+                    prop_assert_eq!(out.netted().migration_cost(), 0);
+                    out
+                }
+                Op::Delete { idx } => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let (id, w) = active.swap_remove(idx % active.len());
+                    for a in ancestors(w.aligned_subwindow()) {
+                        *counts.get_mut(&a).unwrap() -= 1;
+                    }
+                    sched.delete(id).expect("delete of active job")
+                }
+            };
+            // Theorem 1: at most one migration per request.
+            prop_assert!(outcome.netted().migration_cost() <= 1);
+
+            // Feasibility against ORIGINAL windows.
+            let active_map: BTreeMap<JobId, Window> =
+                active.iter().copied().collect();
+            validate(&sched.snapshot(), &active_map, machines).unwrap();
+        }
+
+        // Per-machine backends hold internally consistent state.
+        for machine in 0..machines {
+            sched.backend(machine).check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn per_window_balance_within_one(
+        n_jobs in 1usize..40,
+        machines in 2usize..6,
+        deletes in prop::collection::vec(0usize..40, 0..20),
+    ) {
+        // All jobs share one window: after any delete pattern, machine
+        // shares differ by at most one (the Lemma 3 invariant).
+        let w = Window::new(0, 4096);
+        let mut sched =
+            ReallocatingScheduler::from_factory(machines, ReservationScheduler::new);
+        let mut live: Vec<JobId> = Vec::new();
+        for i in 0..n_jobs as u64 {
+            sched.insert(JobId(i), w).unwrap();
+            live.push(JobId(i));
+        }
+        for &d in &deletes {
+            if live.is_empty() {
+                break;
+            }
+            let id = live.swap_remove(d % live.len());
+            sched.delete(id).unwrap();
+        }
+        let counts: Vec<usize> =
+            (0..machines).map(|m| sched.backend(m).active_count()).collect();
+        let lo = *counts.iter().min().unwrap();
+        let hi = *counts.iter().max().unwrap();
+        prop_assert!(hi - lo <= 1, "unbalanced shares: {:?}", counts);
+        prop_assert_eq!(counts.iter().sum::<usize>(), live.len());
+    }
+}

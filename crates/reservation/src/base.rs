@@ -1,0 +1,105 @@
+//! Level 0: the constant-depth pecking-order cascade for spans `≤ L₁`.
+//!
+//! The paper's recursion bottoms out here: windows of span at most
+//! `L₁ = 32` have at most `lg L₁ + 1 = 6` distinct spans, so the naive
+//! cascade of Lemma 4 — displace any strictly-longer-span job and reinsert
+//! it — costs `O(lg L₁) = O(1)` reallocations, matching the constant
+//! per-level budget of the `O(log* Δ)` analysis.
+//!
+//! Two properties keep the bookkeeping cheap:
+//!
+//! * an intermediate cascade step replaces one level-0 job by another in the
+//!   same slot, so ancestor allowances are untouched;
+//! * only the final step claims a new slot (empty, or under a higher-level
+//!   job, which is then displaced into its own level's PLACE) — exactly one
+//!   allowance flip per cascade.
+
+use crate::scheduler::{ReservationScheduler, Task};
+use crate::state::JobRec;
+use realloc_core::{Error, JobId, SlotMove, Window};
+use std::collections::VecDeque;
+
+impl ReservationScheduler {
+    /// Inserts a level-0 job via the pecking-order cascade.
+    pub(crate) fn insert_base(
+        &mut self,
+        job: JobId,
+        window: Window,
+        moves: &mut Vec<SlotMove>,
+        work: &mut VecDeque<Task>,
+    ) -> Result<(), Error> {
+        let mut cur_job = job;
+        let mut cur_window = window;
+        let mut from = None;
+        loop {
+            // Scan the (≤ L₁) slots of the window: an empty slot is best, a
+            // slot under a higher-level job next (pecking order lets us
+            // displace it); otherwise pick the level-0 occupant with the
+            // smallest strictly-larger span as cascade victim.
+            let mut empty = None;
+            let mut higher = None;
+            let mut victim: Option<(JobId, JobRec)> = None;
+            for s in cur_window.slots() {
+                match self.slot_jobs.get(&s) {
+                    None => {
+                        empty = Some(s);
+                        break;
+                    }
+                    Some(&occ) => {
+                        let rec = self.jobs[&occ];
+                        if rec.level >= 1 {
+                            higher.get_or_insert(s);
+                        } else if rec.window.span() > cur_window.span()
+                            && victim.is_none_or(|(_, v)| rec.window.span() < v.window.span())
+                        {
+                            victim = Some((occ, rec));
+                        }
+                    }
+                }
+            }
+            if let Some(slot) = empty.or(higher) {
+                // Final step: claim the slot (displacing a higher-level job
+                // if present) and stop cascading.
+                self.occupy_slot(cur_job, cur_window, 0, slot, from, moves, work);
+                return Ok(());
+            }
+            let Some((victim_id, victim_rec)) = victim else {
+                return Err(Error::CapacityExhausted {
+                    job: cur_job,
+                    detail: format!(
+                        "base cascade: window {cur_window} is full of level-0 jobs with \
+                         no longer-span occupant to displace"
+                    ),
+                });
+            };
+            // Swap: the cascading job takes the victim's slot. Both jobs are
+            // level 0, so no ancestor allowance changes.
+            let slot = victim_rec.slot;
+            self.slot_jobs.insert(slot, cur_job);
+            self.jobs.insert(
+                cur_job,
+                JobRec {
+                    window: cur_window,
+                    level: 0,
+                    slot,
+                },
+            );
+            moves.push(SlotMove {
+                job: cur_job,
+                from,
+                to: Some(slot),
+            });
+            cur_job = victim_id;
+            cur_window = victim_rec.window;
+            from = Some(slot);
+        }
+    }
+
+    /// Deletes a level-0 job: free the slot and let ancestor allowances grow
+    /// (the freed capacity is claimed lazily by later hunts).
+    pub(crate) fn delete_base(&mut self, job: JobId, rec: JobRec, moves: &mut Vec<SlotMove>) {
+        debug_assert_eq!(rec.level, 0);
+        self.vacate_physical(job, 0, rec.slot, moves);
+        self.jobs.remove(&job);
+    }
+}

@@ -1,0 +1,308 @@
+//! Exhaustive structural invariant checking, used by tests and
+//! property-based harnesses after every operation.
+//!
+//! Checks (numbers refer to the paper):
+//!
+//! 1. job records ↔ physical occupancy are mutually consistent;
+//! 2. every job sits inside its window (feasibility, §2);
+//! 3. at levels ≥ 1: `x` equals the actual number of jobs per window, every
+//!    job sits in a slot *assigned to its own window*, and `empty_assigned`
+//!    mirrors `assigned`;
+//! 4. interval `lower_occ` sets exactly reflect physical occupancy by
+//!    lower-level jobs (allowance correctness);
+//! 5. **never over-assigned** (Invariant 5 + Observation 7 with lazy
+//!    rises): per interval, each window's assigned slots never exceed its
+//!    fulfilled quota, and the total never exceeds the allowance;
+//! 6. assignments never sit on lower-occupied slots, distinct windows never
+//!    share an assigned slot, and a window's assignments lie inside it;
+//! 7. high-water marks cover every window with state at the level.
+
+use crate::scheduler::ReservationScheduler;
+use realloc_core::Window;
+use std::collections::{HashMap, HashSet};
+
+/// A violated invariant, with human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation(pub String);
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            return Err(InvariantViolation(format!($($arg)*)));
+        }
+    };
+}
+
+impl ReservationScheduler {
+    /// Verifies every structural invariant; `Err` describes the first
+    /// violation found. Intended for tests (cost is `O(state size)`).
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        // 1 + 2: job records vs physical occupancy and windows.
+        ensure!(
+            self.jobs.len() == self.slot_jobs.len(),
+            "job count {} != occupied slot count {}",
+            self.jobs.len(),
+            self.slot_jobs.len()
+        );
+        for (&id, rec) in &self.jobs {
+            ensure!(
+                self.slot_jobs.get(&rec.slot) == Some(&id),
+                "job {id} claims slot {} but slot holds {:?}",
+                rec.slot,
+                self.slot_jobs.get(&rec.slot)
+            );
+            ensure!(
+                rec.window.contains_slot(rec.slot),
+                "job {id} at slot {} outside window {}",
+                rec.slot,
+                rec.window
+            );
+            ensure!(
+                rec.level == self.tower.level_of(rec.window.span()),
+                "job {id} cached level {} != tower level {}",
+                rec.level,
+                self.tower.level_of(rec.window.span())
+            );
+        }
+
+        // Jobs per window (levels ≥ 1).
+        let mut per_window: HashMap<(usize, Window), Vec<(realloc_core::JobId, u64)>> =
+            HashMap::new();
+        for (&id, rec) in &self.jobs {
+            if rec.level >= 1 {
+                per_window
+                    .entry((rec.level, rec.window))
+                    .or_default()
+                    .push((id, rec.slot));
+            }
+        }
+
+        for (level, lvl) in self.levels.iter().enumerate().skip(1) {
+            let ispan = self.tower.interval_span(level);
+
+            // 3 + 7: window states.
+            for (&w, ws) in &lvl.windows {
+                ensure!(
+                    w.span() <= lvl.high_water,
+                    "level {level}: window {w} above high-water {}",
+                    lvl.high_water
+                );
+                ensure!(
+                    self.tower.level_of(w.span()) == level,
+                    "level {level}: window {w} belongs to level {}",
+                    self.tower.level_of(w.span())
+                );
+                let jobs_here = per_window
+                    .get(&(level, w))
+                    .map(|v| v.len() as u64)
+                    .unwrap_or(0);
+                ensure!(
+                    ws.x == jobs_here,
+                    "level {level} window {w}: x={} but {jobs_here} jobs present",
+                    ws.x
+                );
+                for (&s, &occ) in &ws.assigned {
+                    ensure!(
+                        w.contains_slot(s),
+                        "level {level} window {w}: assigned slot {s} outside window"
+                    );
+                    match occ {
+                        Some(j) => {
+                            ensure!(
+                                self.jobs.get(&j).map(|r| (r.window, r.slot)) == Some((w, s)),
+                                "level {level} window {w}: assigned slot {s} claims job {j} \
+                                 but the job record disagrees"
+                            );
+                            ensure!(
+                                !ws.empty_assigned.contains(&s),
+                                "level {level} window {w}: occupied slot {s} in empty_assigned"
+                            );
+                        }
+                        None => {
+                            ensure!(
+                                ws.empty_assigned.contains(&s),
+                                "level {level} window {w}: empty slot {s} missing from empty_assigned"
+                            );
+                            ensure!(
+                                self.slot_jobs.get(&s).map(|j| self.jobs[j].level > level)
+                                    != Some(false),
+                                "level {level} window {w}: empty-assigned slot {s} occupied by \
+                                 a job of level ≤ {level}"
+                            );
+                        }
+                    }
+                }
+                ensure!(
+                    ws.empty_assigned
+                        .iter()
+                        .all(|s| ws.assigned.get(s) == Some(&None)),
+                    "level {level} window {w}: empty_assigned contains stale slots"
+                );
+                // Every job of this window sits in one of its assigned slots.
+                if let Some(jobs_list) = per_window.get(&(level, w)) {
+                    for &(id, slot) in jobs_list {
+                        ensure!(
+                            ws.assigned.get(&slot) == Some(&Some(id)),
+                            "level {level} window {w}: job {id} at slot {slot} not backed \
+                             by a fulfilled reservation"
+                        );
+                    }
+                }
+            }
+            // Every populated window has a state.
+            for (&(l, w), _) in per_window.iter().filter(|((l, _), _)| *l == level) {
+                let _ = l;
+                ensure!(
+                    lvl.windows.contains_key(&w),
+                    "level {level}: window {w} has jobs but no state"
+                );
+            }
+
+            // 4: lower_occ exactness.
+            let mut expected_lower: HashMap<u64, HashSet<u64>> = HashMap::new();
+            for rec in self.jobs.values() {
+                if rec.level < level {
+                    expected_lower
+                        .entry(rec.slot - rec.slot % ispan)
+                        .or_default()
+                        .insert(rec.slot);
+                }
+            }
+            for (&istart, ist) in &lvl.intervals {
+                let expected = expected_lower.remove(&istart).unwrap_or_default();
+                let actual: HashSet<u64> = ist.lower_occ.iter().copied().collect();
+                ensure!(
+                    actual == expected,
+                    "level {level} interval {istart}: lower_occ {actual:?} != occupancy {expected:?}"
+                );
+                ensure!(
+                    !ist.lower_occ.is_empty(),
+                    "level {level} interval {istart}: empty record not pruned"
+                );
+            }
+            ensure!(
+                expected_lower.is_empty(),
+                "level {level}: intervals {:?} with lower occupancy have no record",
+                expected_lower.keys().collect::<Vec<_>>()
+            );
+
+            // 5 + 6: per-interval quota bounds.
+            let mut interval_starts: HashSet<u64> = HashSet::new();
+            for ws in lvl.windows.values() {
+                for &s in ws.assigned.keys() {
+                    interval_starts.insert(s - s % ispan);
+                }
+            }
+            interval_starts.extend(lvl.intervals.keys().copied());
+            for &istart in &interval_starts {
+                let iw = Window::with_span(istart, ispan);
+                let allowance = ispan
+                    - lvl
+                        .intervals
+                        .get(&istart)
+                        .map(|i| i.lower_occ.len() as u64)
+                        .unwrap_or(0);
+                let quotas = self.quotas_at(level, istart);
+                let mut assigned_slots: HashSet<u64> = HashSet::new();
+                let mut total_assigned = 0u64;
+                for (w, quota) in quotas {
+                    let Some(ws) = lvl.windows.get(&w) else { continue };
+                    let have: Vec<u64> = ws.assigned_in(iw).map(|(s, _)| s).collect();
+                    ensure!(
+                        have.len() as u64 <= quota,
+                        "level {level} interval {istart} window {w}: assigned {} > quota {quota}",
+                        have.len()
+                    );
+                    total_assigned += have.len() as u64;
+                    for s in have {
+                        ensure!(
+                            assigned_slots.insert(s),
+                            "level {level} interval {istart}: slot {s} assigned to two windows"
+                        );
+                        if let Some(ist) = lvl.intervals.get(&istart) {
+                            ensure!(
+                                !ist.lower_occ.contains(&s),
+                                "level {level} interval {istart}: assigned slot {s} is lower-occupied"
+                            );
+                        }
+                    }
+                }
+                ensure!(
+                    total_assigned <= allowance,
+                    "level {level} interval {istart}: {total_assigned} assignments exceed \
+                     allowance {allowance}"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Observation 7 probe: the full fulfillment profile — for every
+    /// interval of every populated window, the `(level, interval start,
+    /// window, fulfilled quota)` tuples, sorted. Two schedulers holding the
+    /// same active job multiset must produce identical profiles regardless
+    /// of the request order that built them (history independence).
+    pub fn fulfillment_profile(&self) -> Vec<(usize, u64, Window, u64)> {
+        let mut out = Vec::new();
+        for (level, lvl) in self.levels.iter().enumerate().skip(1) {
+            let ispan = self.tower.interval_span(level);
+            let mut starts: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            for (&w, ws) in &lvl.windows {
+                if ws.x > 0 {
+                    let ni = w.span() / ispan;
+                    for pos in 0..ni {
+                        starts.insert(w.start() + pos * ispan);
+                    }
+                }
+            }
+            for istart in starts {
+                for (w, q) in self.quotas_at(level, istart) {
+                    let populated = lvl.windows.get(&w).map(|ws| ws.x > 0).unwrap_or(false);
+                    if populated {
+                        out.push((level, istart, w, q));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Lemma 8 headroom probe: for every window with `x ≥ 1` jobs, the sum
+    /// of fulfilled quotas over its intervals, minus `x`, is the number of
+    /// spare fulfilled reservations. Returns the minimum spare across all
+    /// populated windows (`None` when no leveled window has jobs). Under
+    /// 8-underallocation the paper guarantees this is ≥ 1.
+    pub fn min_lemma8_headroom(&self) -> Option<i64> {
+        let mut min_spare: Option<i64> = None;
+        for (level, lvl) in self.levels.iter().enumerate().skip(1) {
+            let ispan = self.tower.interval_span(level);
+            for (&w, ws) in &lvl.windows {
+                if ws.x == 0 {
+                    continue;
+                }
+                let mut total_quota = 0u64;
+                let ni = w.span() / ispan;
+                for pos in 0..ni {
+                    let istart = w.start() + pos * ispan;
+                    for (w2, q) in self.quotas_at(level, istart) {
+                        if w2 == w {
+                            total_quota += q;
+                        }
+                    }
+                }
+                let spare = total_quota as i64 - ws.x as i64;
+                min_spare = Some(min_spare.map_or(spare, |m| m.min(spare)));
+            }
+        }
+        min_spare
+    }
+}

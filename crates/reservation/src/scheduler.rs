@@ -1,0 +1,813 @@
+//! The reservation-based pecking-order scheduler of paper §4 (Figure 1).
+//!
+//! # Architecture
+//!
+//! The paper's Figure 1 describes RESERVE/MOVE/PLACE imperatively. We
+//! implement the same algorithm around Observation 7 (fulfillment is
+//! history independent):
+//!
+//! * the *fulfilled quota* of every window in every interval is a pure
+//!   function of the per-window job counts and the interval's allowance
+//!   ([`crate::quota`]);
+//! * the scheduler's mutable state records only which concrete slots back
+//!   the fulfilled reservations and where jobs physically sit
+//!   ([`crate::state`]);
+//! * the running invariant is **never over-assigned**: each window's
+//!   assigned slots in an interval never exceed its quota there. Quota
+//!   *drops* (a deletion's reservation removal, an allowance shrink) are
+//!   rebalanced eagerly at the affected intervals — a drop on a slot that
+//!   holds a job triggers the paper's MOVE. Quota *rises* are materialized
+//!   lazily: PLACE first tries the already-backed slots, then *hunts*
+//!   through the window's intervals in round-robin order, topping each up
+//!   to quota until a free fulfilled slot appears (Lemma 8 guarantees one
+//!   while the instance is sufficiently underallocated).
+//!
+//! Standing reservations (one per window per enclosed interval, Figure 1
+//! line 1) exist for every window span up to the level's high-water mark —
+//! see [`crate::state::Level`] for why this bounding is behaviour-safe.
+//!
+//! Mutations and their consequences are processed through a FIFO worklist,
+//! mirroring Figure 1's order: reservations first, then placement, then
+//! higher-level fallout. Displacements strictly increase in level, so the
+//! cascade terminates after at most one PLACE per level — the
+//! `O(min{log* n, log* Δ})` of Theorem 1.
+//!
+//! MOVE itself performs the paper's *swap trick* (lines 12–13 of Figure 1):
+//! moving a level-ℓ job between two of its window's slots swaps the two
+//! slots in every ancestor interval, so ancestor allowance sizes — and
+//! therefore all quotas — are unchanged, and no rebalance is needed. At
+//! most one higher-level job hops between the swapped slots.
+//!
+//! Spans `≤ L₁` (level 0) have no reservation machinery; they use the
+//! constant-depth pecking-order cascade in [`crate::base`].
+
+use crate::quota::{fulfilled_quotas, positions_gained, positions_lost, reservation_count, Demand};
+use crate::state::{JobRec, Level};
+use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Tower, Window};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Maximum admissible window end: keeping the axis inside `[0, 2^63)`
+/// guarantees aligned-parent and interval arithmetic never overflows.
+pub const MAX_TIME: u64 = 1 << 63;
+
+/// Deferred consequences of a mutation, processed FIFO.
+#[derive(Debug)]
+pub(crate) enum Task {
+    /// Re-establish `interval`'s assignments against recomputed quotas.
+    Rebalance {
+        /// Scheduler level of the interval.
+        level: usize,
+        /// Interval start slot.
+        istart: Slot,
+    },
+    /// Re-place a displaced job (the paper's cascading `PLACE(h)`).
+    Place {
+        /// The displaced job.
+        job: JobId,
+        /// Its window.
+        window: Window,
+        /// Its level.
+        level: usize,
+        /// The slot it was displaced from (for move accounting).
+        from: Option<Slot>,
+    },
+}
+
+/// Single-machine reservation scheduler for recursively aligned windows
+/// (paper §4). Implements [`SingleMachineReallocator`].
+///
+/// Windows must be aligned and end before [`MAX_TIME`]; the §5 alignment
+/// wrapper (`realloc-multi`) produces such windows from arbitrary ones.
+#[derive(Clone, Debug)]
+pub struct ReservationScheduler {
+    pub(crate) tower: Tower,
+    /// Active jobs.
+    pub(crate) jobs: HashMap<JobId, JobRec>,
+    /// Physical occupancy: slot → job.
+    pub(crate) slot_jobs: HashMap<Slot, JobId>,
+    /// Per-level window/interval state; index = level.
+    pub(crate) levels: Vec<Level>,
+}
+
+impl ReservationScheduler {
+    /// New scheduler with the paper tower (`L₁ = 32, L₂ = 256`).
+    pub fn new() -> Self {
+        Self::with_tower(Tower::paper())
+    }
+
+    /// New scheduler with a custom level ladder (tests / ablations).
+    pub fn with_tower(tower: Tower) -> Self {
+        let n = tower.max_levels();
+        ReservationScheduler {
+            tower,
+            jobs: HashMap::new(),
+            slot_jobs: HashMap::new(),
+            levels: (0..n).map(|_| Level::default()).collect(),
+        }
+    }
+
+    /// The tower in use.
+    pub fn tower(&self) -> &Tower {
+        &self.tower
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry helpers
+    // ------------------------------------------------------------------
+
+    /// Interval span `L_ℓ` of `level ≥ 1`.
+    pub(crate) fn ispan(&self, level: usize) -> u64 {
+        self.tower.interval_span(level)
+    }
+
+    /// Start of the level-`level` interval containing `slot`.
+    pub(crate) fn interval_of(&self, level: usize, slot: Slot) -> Slot {
+        let span = self.ispan(level);
+        slot - slot % span
+    }
+
+    /// Number of level-`level` intervals in window `w` (the paper's `2^k`).
+    pub(crate) fn num_intervals(&self, level: usize, w: Window) -> u64 {
+        w.span() / self.ispan(level)
+    }
+
+    // ------------------------------------------------------------------
+    // Quotas
+    // ------------------------------------------------------------------
+
+    /// The chain of windows containing the interval at `istart` (all spans
+    /// up to the level's high-water mark), sorted by span ascending, with
+    /// their fulfilled quotas in this interval. Pure (Observation 7).
+    pub(crate) fn quotas_at(&self, level: usize, istart: Slot) -> Vec<(Window, u64)> {
+        let ispan = self.ispan(level);
+        let lvl = &self.levels[level];
+        let lower = lvl
+            .intervals
+            .get(&istart)
+            .map(|i| i.lower_occ.len() as u64)
+            .unwrap_or(0);
+        let allowance = ispan - lower;
+
+        let mut chain: Vec<Window> = Vec::new();
+        let mut demands: Vec<Demand> = Vec::new();
+        for span in lvl.chain_spans(ispan) {
+            let w = Window::aligned_enclosing(istart, span);
+            let x = lvl.windows.get(&w).map(|ws| ws.x).unwrap_or(0);
+            let ni = span / ispan;
+            let pos = (istart - w.start()) / ispan;
+            chain.push(w);
+            demands.push(Demand {
+                span,
+                reservations: reservation_count(x, ni, pos),
+            });
+        }
+        let quotas = fulfilled_quotas(&demands, allowance);
+        chain.into_iter().zip(quotas).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Worklist processing
+    // ------------------------------------------------------------------
+
+    fn drain(&mut self, work: &mut VecDeque<Task>, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
+        while let Some(task) = work.pop_front() {
+            match task {
+                Task::Rebalance { level, istart } => {
+                    self.rebalance(level, istart, moves)?;
+                }
+                Task::Place {
+                    job,
+                    window,
+                    level,
+                    from,
+                } => {
+                    self.place(job, window, level, from, moves, work)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalance: re-establish one interval against its quotas
+    // ------------------------------------------------------------------
+
+    /// Brings the interval at `istart` back under quota and tops it up:
+    ///
+    /// 0. drop assignments on slots that fell out of the allowance,
+    /// 1. shed over-quota assignments (MOVE jobs off slots being shed),
+    /// 2. claim free allowance slots for under-quota windows.
+    ///
+    /// Step 2 makes the interval *exactly* quota-consistent; intervals that
+    /// were never rebalanced simply hold no assignments yet (lazy rises).
+    fn rebalance(&mut self, level: usize, istart: Slot, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
+        let ispan = self.ispan(level);
+        let iw = Window::with_span(istart, ispan);
+        let targets = self.quotas_at(level, istart);
+
+        // Phase 0 + 1: per window, drop invalid assignments and shed excess.
+        for &(w, quota) in &targets {
+            if !self.levels[level].windows.contains_key(&w) {
+                continue;
+            }
+            let invalid: Vec<Slot> = {
+                let lvl = &self.levels[level];
+                let ws = &lvl.windows[&w];
+                let occ = lvl.intervals.get(&istart);
+                ws.assigned_in(iw)
+                    .filter(|(s, _)| occ.is_some_and(|i| i.lower_occ.contains(s)))
+                    .map(|(s, j)| {
+                        debug_assert!(
+                            j.is_none(),
+                            "lower-occupied slot {s} still holds a level-{level} job"
+                        );
+                        s
+                    })
+                    .collect()
+            };
+            for s in invalid {
+                self.levels[level]
+                    .windows
+                    .get_mut(&w)
+                    .unwrap()
+                    .remove_assignment(s);
+            }
+
+            let cur: Vec<(Slot, Option<JobId>)> =
+                self.levels[level].windows[&w].assigned_in(iw).collect();
+            let excess = (cur.len() as u64).saturating_sub(quota);
+            if excess == 0 {
+                continue;
+            }
+            // Shed empty assignments first; then MOVE jobs off the rest.
+            let mut shed = 0u64;
+            for &(s, _) in cur.iter().filter(|(_, o)| o.is_none()) {
+                if shed == excess {
+                    break;
+                }
+                self.levels[level]
+                    .windows
+                    .get_mut(&w)
+                    .unwrap()
+                    .remove_assignment(s);
+                shed += 1;
+            }
+            if shed < excess {
+                for &(s, occ) in cur.iter().filter(|(_, o)| o.is_some()) {
+                    if shed == excess {
+                        break;
+                    }
+                    let j = occ.expect("filtered on occupied");
+                    self.move_job(level, w, j, moves)?;
+                    // `move_job` vacated `s`; the assignment is now empty.
+                    self.levels[level]
+                        .windows
+                        .get_mut(&w)
+                        .unwrap()
+                        .remove_assignment(s);
+                    shed += 1;
+                }
+            }
+        }
+
+        // Phase 2: claim free allowance slots for under-quota windows.
+        // `taken` = lower-occupied ∪ currently assigned (by any chain window).
+        let mut taken: BTreeSet<Slot> = self.levels[level]
+            .intervals
+            .get(&istart)
+            .map(|i| i.lower_occ.iter().copied().collect())
+            .unwrap_or_default();
+        for &(w, _) in &targets {
+            if let Some(ws) = self.levels[level].windows.get(&w) {
+                for (s, _) in ws.assigned_in(iw) {
+                    taken.insert(s);
+                }
+            }
+        }
+        for &(w, quota) in &targets {
+            let cur = self.levels[level]
+                .windows
+                .get(&w)
+                .map(|ws| ws.assigned_in(iw).count() as u64)
+                .unwrap_or(0);
+            let mut needed = quota.saturating_sub(cur);
+            if needed == 0 {
+                continue;
+            }
+            // Prefer physically free slots, then slots under higher-level
+            // jobs (assignment ≠ occupancy; PLACE displaces on use).
+            for s in iw.slots() {
+                if needed == 0 {
+                    break;
+                }
+                if taken.contains(&s) || self.slot_jobs.contains_key(&s) {
+                    continue;
+                }
+                taken.insert(s);
+                self.levels[level]
+                    .windows
+                    .entry(w)
+                    .or_default()
+                    .add_assignment(s);
+                needed -= 1;
+            }
+            for s in iw.slots() {
+                if needed == 0 {
+                    break;
+                }
+                if taken.contains(&s) {
+                    continue;
+                }
+                taken.insert(s);
+                self.levels[level]
+                    .windows
+                    .entry(w)
+                    .or_default()
+                    .add_assignment(s);
+                needed -= 1;
+            }
+            debug_assert_eq!(needed, 0, "quota exceeds free capacity in interval");
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // MOVE (Figure 1, lines 10–14): relocate a job within its window,
+    // swapping the two slots in all ancestor intervals.
+    // ------------------------------------------------------------------
+
+    fn move_job(
+        &mut self,
+        level: usize,
+        w: Window,
+        job: JobId,
+        moves: &mut Vec<SlotMove>,
+    ) -> Result<(), Error> {
+        let s = self.jobs[&job].slot;
+        // Target: an empty fulfilled slot of `w` (Lemma 8 guarantees one),
+        // preferring a physically free slot over one under a higher job.
+        let target = match self.pick_fulfilled_slot(level, w) {
+            Some(t) => t,
+            None => self.hunt_capacity(job, level, w, moves)?,
+        };
+        debug_assert_ne!(target, s);
+        let hopper = self.slot_jobs.get(&target).copied();
+
+        // Physical swap: job s -> target; hopper (if any) target -> s.
+        self.slot_jobs.insert(target, job);
+        self.jobs.get_mut(&job).unwrap().slot = target;
+        {
+            let ws = self.levels[level].windows.get_mut(&w).unwrap();
+            ws.vacate(s);
+            ws.occupy(target, job);
+        }
+        moves.push(SlotMove {
+            job,
+            from: Some(s),
+            to: Some(target),
+        });
+
+        let htop = match hopper {
+            Some(h) => {
+                let hrec = self.jobs[&h];
+                debug_assert!(
+                    hrec.level > level,
+                    "occupant of a fulfilled slot must be higher-level"
+                );
+                // h hops target -> s; its own fulfilled slot re-points.
+                self.slot_jobs.insert(s, h);
+                self.jobs.get_mut(&h).unwrap().slot = s;
+                let hws = self.levels[hrec.level]
+                    .windows
+                    .get_mut(&hrec.window)
+                    .unwrap();
+                hws.vacate(target);
+                hws.remove_assignment(target);
+                hws.add_assignment(s);
+                hws.occupy(s, h);
+                moves.push(SlotMove {
+                    job: h,
+                    from: Some(target),
+                    to: Some(s),
+                });
+                hrec.level
+            }
+            None => {
+                self.slot_jobs.remove(&s);
+                self.levels.len() - 1
+            }
+        };
+
+        // Ancestor swap (Figure 1 lines 12–13): for levels in (level, htop],
+        // `s` and `target` trade lower-occupancy and any assignment at
+        // `target` re-points to `s`. Allowance sizes — hence quotas — are
+        // unchanged, so no rebalance is needed.
+        for lvl2 in (level + 1)..=htop {
+            let istart = self.interval_of(lvl2, s);
+            debug_assert_eq!(
+                istart,
+                self.interval_of(lvl2, target),
+                "swap must stay within one ancestor interval"
+            );
+            if let Some(rec) = self.levels[lvl2].intervals.get_mut(&istart) {
+                let had_s = rec.lower_occ.remove(&s);
+                debug_assert!(
+                    had_s,
+                    "slot {s} was occupied by a lower job but unrecorded at level {lvl2}"
+                );
+                rec.lower_occ.insert(target);
+            } else {
+                debug_assert!(false, "ancestor interval of an occupied slot must be materialized");
+            }
+            // Re-point a level-lvl2 assignment at `target`, if any, to `s`.
+            // At the hopper's own level this was done above; here we handle
+            // windows other than the hopper's.
+            if let Some(w2) = self.assignment_holder(lvl2, target) {
+                let ws2 = self.levels[lvl2].windows.get_mut(&w2).unwrap();
+                ws2.remove_assignment(target);
+                ws2.add_assignment(s);
+            }
+        }
+        Ok(())
+    }
+
+    /// Which level-`level` window (if any) holds an *empty* fulfilled
+    /// reservation at `slot`. Scans the chain of enclosing windows.
+    fn assignment_holder(&self, level: usize, slot: Slot) -> Option<Window> {
+        let ispan = self.ispan(level);
+        let lvl = &self.levels[level];
+        for span in lvl.chain_spans(ispan) {
+            let w = Window::aligned_enclosing(slot, span);
+            if let Some(ws) = lvl.windows.get(&w) {
+                if let Some(occ) = ws.assigned.get(&slot) {
+                    debug_assert!(occ.is_none(), "re-pointed slot {slot} holds a job");
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Occupy / vacate: physical placement + displacement + allowance flips
+    // ------------------------------------------------------------------
+
+    /// Places `job` (level `level`) physically into `slot`, displacing any
+    /// higher-level occupant and updating ancestor allowances. Does *not*
+    /// touch `job`'s own window state — the caller does.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn occupy_slot(
+        &mut self,
+        job: JobId,
+        window: Window,
+        level: usize,
+        slot: Slot,
+        from: Option<Slot>,
+        moves: &mut Vec<SlotMove>,
+        work: &mut VecDeque<Task>,
+    ) {
+        let displaced = self.slot_jobs.insert(slot, job).map(|h| {
+            let hrec = self.jobs[&h];
+            debug_assert!(
+                hrec.level > level,
+                "pecking order: only higher-level jobs are displaced"
+            );
+            // h loses its slot; its stale (now empty) assignment at `slot`
+            // is cleaned by the flip-triggered rebalance below.
+            self.levels[hrec.level]
+                .windows
+                .get_mut(&hrec.window)
+                .unwrap()
+                .vacate(slot);
+            (h, hrec)
+        });
+        self.jobs.insert(
+            job,
+            JobRec {
+                window,
+                level,
+                slot,
+            },
+        );
+        moves.push(SlotMove {
+            job,
+            from,
+            to: Some(slot),
+        });
+
+        // Allowance flips: `slot` becomes lower-occupied for levels in
+        // (level, htop]; above a displaced occupant's level it already was.
+        let htop = displaced
+            .as_ref()
+            .map(|(_, hrec)| hrec.level)
+            .unwrap_or(self.levels.len() - 1);
+        for lvl2 in (level + 1)..=htop {
+            let istart = self.interval_of(lvl2, slot);
+            self.levels[lvl2]
+                .intervals
+                .entry(istart)
+                .or_default()
+                .lower_occ
+                .insert(slot);
+            work.push_back(Task::Rebalance { level: lvl2, istart });
+        }
+        if let Some((h, hrec)) = displaced {
+            work.push_back(Task::Place {
+                job: h,
+                window: hrec.window,
+                level: hrec.level,
+                from: Some(slot),
+            });
+        }
+    }
+
+    /// Removes `job` from `slot` physically and updates ancestor allowances
+    /// (the slot re-enters the allowance of every ancestor interval; quota
+    /// rises never move jobs, so no rebalances are queued — the new
+    /// capacity is claimed lazily).
+    pub(crate) fn vacate_physical(
+        &mut self,
+        job: JobId,
+        level: usize,
+        slot: Slot,
+        moves: &mut Vec<SlotMove>,
+    ) {
+        let prev = self.slot_jobs.remove(&slot);
+        debug_assert_eq!(prev, Some(job));
+        moves.push(SlotMove {
+            job,
+            from: Some(slot),
+            to: None,
+        });
+        for lvl2 in (level + 1)..self.levels.len() {
+            let istart = self.interval_of(lvl2, slot);
+            let mut emptied = false;
+            if let Some(rec) = self.levels[lvl2].intervals.get_mut(&istart) {
+                let had = rec.lower_occ.remove(&slot);
+                debug_assert!(had, "occupied slot unrecorded at ancestor level {lvl2}");
+                emptied = rec.lower_occ.is_empty();
+            } else {
+                debug_assert!(false, "ancestor interval of an occupied slot must exist");
+            }
+            if emptied {
+                self.levels[lvl2].intervals.remove(&istart);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // PLACE (Figure 1, lines 15–23)
+    // ------------------------------------------------------------------
+
+    fn place(
+        &mut self,
+        job: JobId,
+        window: Window,
+        level: usize,
+        from: Option<Slot>,
+        moves: &mut Vec<SlotMove>,
+        work: &mut VecDeque<Task>,
+    ) -> Result<(), Error> {
+        debug_assert!(level >= 1, "level-0 jobs use the base cascade");
+        let slot = match self.pick_fulfilled_slot(level, window) {
+            Some(s) => s,
+            None => self.hunt_capacity(job, level, window, moves)?,
+        };
+        self.occupy_slot(job, window, level, slot, from, moves, work);
+        self.levels[level]
+            .windows
+            .get_mut(&window)
+            .unwrap()
+            .occupy(slot, job);
+        Ok(())
+    }
+
+    /// An empty fulfilled slot of `window`, preferring physically free ones.
+    fn pick_fulfilled_slot(&self, level: usize, window: Window) -> Option<Slot> {
+        let ws = self.levels[level].windows.get(&window)?;
+        ws.empty_assigned
+            .iter()
+            .copied()
+            .find(|s| !self.slot_jobs.contains_key(s))
+            .or_else(|| ws.empty_assigned.iter().copied().next())
+    }
+
+    /// Materializes quota rises interval by interval (round-robin order —
+    /// leftmost intervals hold the most reservations) until `window` gains
+    /// an empty fulfilled slot. Lemma 8 guarantees total quota ≥ x+1, so
+    /// the hunt succeeds whenever the instance is sufficiently
+    /// underallocated.
+    fn hunt_capacity(
+        &mut self,
+        job: JobId,
+        level: usize,
+        window: Window,
+        moves: &mut Vec<SlotMove>,
+    ) -> Result<Slot, Error> {
+        let ispan = self.ispan(level);
+        let ni = self.num_intervals(level, window);
+        for pos in 0..ni {
+            let istart = window.start() + pos * ispan;
+            self.rebalance(level, istart, moves)?;
+            if let Some(s) = self.pick_fulfilled_slot(level, window) {
+                return Ok(s);
+            }
+        }
+        Err(Error::CapacityExhausted {
+            job,
+            detail: format!(
+                "PLACE: window {window} at level {level} has no fulfilled empty slot \
+                 in any of its {ni} intervals (underallocation precondition violated)"
+            ),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Insert / delete at levels ≥ 1
+    // ------------------------------------------------------------------
+
+    fn insert_leveled(
+        &mut self,
+        job: JobId,
+        window: Window,
+        level: usize,
+        moves: &mut Vec<SlotMove>,
+        work: &mut VecDeque<Task>,
+    ) -> Result<(), Error> {
+        let ispan = self.ispan(level);
+        let ni = self.num_intervals(level, window);
+        self.levels[level].high_water = self.levels[level].high_water.max(window.span());
+        let x_old = {
+            let ws = self.levels[level].windows.entry(window).or_default();
+            let x_old = ws.x;
+            ws.x += 1;
+            x_old
+        };
+
+        // The two new reservations (Figure 1 step 1–2): quota rises at the
+        // two leftmost lightest intervals; rebalancing them may steal a slot
+        // from a longer window (≤ 1 MOVE each).
+        for pos in positions_gained(x_old, ni) {
+            work.push_back(Task::Rebalance {
+                level,
+                istart: window.start() + pos * ispan,
+            });
+        }
+
+        // PLACE the new job (Figure 1 step 3) after the reservations settle.
+        let attempt = self
+            .drain(work, moves)
+            .and_then(|()| self.place(job, window, level, None, moves, work))
+            .and_then(|()| self.drain(work, moves));
+        match attempt {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll the reservation bump back so state stays valid. (If
+                // the failure happened after the job was physically placed —
+                // possible only when underallocation is violated mid-cascade
+                // — the job is withdrawn again.)
+                work.clear();
+                let mut rollback = VecDeque::new();
+                if let Some(rec) = self.jobs.get(&job).copied() {
+                    self.levels[level]
+                        .windows
+                        .get_mut(&window)
+                        .unwrap()
+                        .vacate(rec.slot);
+                    self.vacate_physical(job, level, rec.slot, moves);
+                    self.jobs.remove(&job);
+                }
+                self.levels[level].windows.get_mut(&window).unwrap().x -= 1;
+                for pos in positions_lost(x_old + 1, ni) {
+                    rollback.push_back(Task::Rebalance {
+                        level,
+                        istart: window.start() + pos * ispan,
+                    });
+                }
+                self.drain(&mut rollback, moves)?;
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_leveled(
+        &mut self,
+        job: JobId,
+        rec: JobRec,
+        moves: &mut Vec<SlotMove>,
+        work: &mut VecDeque<Task>,
+    ) -> Result<(), Error> {
+        let (window, level, slot) = (rec.window, rec.level, rec.slot);
+        let ispan = self.ispan(level);
+        let ni = self.num_intervals(level, window);
+
+        // Physically remove the job; its fulfilled slot stays (for now).
+        self.levels[level]
+            .windows
+            .get_mut(&window)
+            .unwrap()
+            .vacate(slot);
+        self.vacate_physical(job, level, slot, moves);
+        self.jobs.remove(&job);
+
+        // Drop the two reservations: quota falls at the two rightmost
+        // heaviest intervals (may shed fulfilled slots; a shed slot holding
+        // a job triggers MOVE). Standing per-interval reservations remain
+        // even at x = 0 (Figure 1 line 1).
+        let x_old = self.levels[level].windows[&window].x;
+        self.levels[level].windows.get_mut(&window).unwrap().x -= 1;
+        for pos in positions_lost(x_old, ni) {
+            work.push_back(Task::Rebalance {
+                level,
+                istart: window.start() + pos * ispan,
+            });
+        }
+        self.drain(work, moves)
+    }
+
+    /// Count of physically occupied slots (for tests).
+    pub fn occupied_slots(&self) -> usize {
+        self.slot_jobs.len()
+    }
+
+    /// Number of window states currently held (for memory tests).
+    pub fn window_states(&self) -> usize {
+        self.levels.iter().map(|l| l.windows.len()).sum()
+    }
+
+    /// Reclaims memory: drops the state of every window with no jobs,
+    /// releasing its standing-reservation slots.
+    ///
+    /// Safe because the running invariant only requires assignments to
+    /// never *exceed* quotas: un-backing an empty window's standing
+    /// reservations is a lazy rise waiting to be re-claimed (by a later
+    /// rebalance or hunt), and the freed slots can only help other
+    /// windows. Call this at quiet points; cost is `O(state size)`.
+    pub fn compact(&mut self) {
+        for level in self.levels.iter_mut() {
+            level.windows.retain(|_, ws| ws.x > 0);
+        }
+    }
+}
+
+impl Default for ReservationScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SingleMachineReallocator for ReservationScheduler {
+    fn insert(&mut self, id: JobId, window: Window) -> Result<Vec<SlotMove>, Error> {
+        if self.jobs.contains_key(&id) {
+            return Err(Error::DuplicateJob(id));
+        }
+        if !window.is_aligned() {
+            return Err(Error::UnalignedWindow(window));
+        }
+        if window.end() > MAX_TIME {
+            return Err(Error::UnsupportedJob {
+                job: id,
+                detail: format!("window end {} exceeds MAX_TIME 2^63", window.end()),
+            });
+        }
+        let level = self.tower.level_of(window.span());
+        let mut moves = Vec::new();
+        let mut work = VecDeque::new();
+        let result = if level == 0 {
+            self.insert_base(id, window, &mut moves, &mut work)
+                .and_then(|()| self.drain(&mut work, &mut moves))
+        } else {
+            self.insert_leveled(id, window, level, &mut moves, &mut work)
+        };
+        result.map(|()| moves)
+    }
+
+    fn delete(&mut self, id: JobId) -> Result<Vec<SlotMove>, Error> {
+        let rec = *self.jobs.get(&id).ok_or(Error::UnknownJob(id))?;
+        let mut moves = Vec::new();
+        let mut work = VecDeque::new();
+        if rec.level == 0 {
+            self.delete_base(id, rec, &mut moves);
+            self.drain(&mut work, &mut moves)?;
+        } else {
+            self.delete_leveled(id, rec, &mut moves, &mut work)?;
+        }
+        Ok(moves)
+    }
+
+    fn slot_of(&self, id: JobId) -> Option<Slot> {
+        self.jobs.get(&id).map(|r| r.slot)
+    }
+
+    fn assignments(&self) -> Vec<(JobId, Slot)> {
+        self.jobs.iter().map(|(&id, r)| (id, r.slot)).collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "reservation"
+    }
+}

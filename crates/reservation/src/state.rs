@@ -1,0 +1,167 @@
+//! Mutable state of the reservation scheduler.
+//!
+//! The split follows Observation 7: *which* reservations are fulfilled is a
+//! pure function (see [`crate::quota`]), so the state only remembers
+//!
+//! * which concrete slot backs each fulfilled reservation
+//!   ([`WindowState::assigned`]),
+//! * which slots are occupied by lower-level jobs, per interval
+//!   ([`IntervalState::lower_occ`] — the complement of the paper's
+//!   `allowance(I)`), and
+//! * where each job physically sits.
+
+use realloc_core::{JobId, Slot, Window};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Bookkeeping for one active job.
+#[derive(Clone, Copy, Debug)]
+pub struct JobRec {
+    /// The (aligned, possibly trimmed) window the scheduler works with.
+    pub window: Window,
+    /// Cached level of `window.span()` in the tower.
+    pub level: usize,
+    /// Current physical slot.
+    pub slot: Slot,
+}
+
+/// Per-window state at levels `≥ 1`.
+#[derive(Clone, Debug, Default)]
+pub struct WindowState {
+    /// Number of active jobs with exactly this window (the paper's `x`).
+    pub x: u64,
+    /// Slots backing this window's fulfilled reservations, with the level-ℓ
+    /// job occupying each (if any). Every job of this window always sits in
+    /// one of these slots.
+    pub assigned: BTreeMap<Slot, Option<JobId>>,
+    /// The subset of `assigned` currently holding no job of this level —
+    /// the candidates Lemma 8 guarantees for PLACE and MOVE.
+    pub empty_assigned: BTreeSet<Slot>,
+}
+
+impl WindowState {
+    /// Marks `slot` as a fulfilled (and job-free) reservation of this window.
+    pub fn add_assignment(&mut self, slot: Slot) {
+        let prev = self.assigned.insert(slot, None);
+        debug_assert!(prev.is_none(), "slot {slot} assigned twice");
+        self.empty_assigned.insert(slot);
+    }
+
+    /// Drops the fulfilled reservation at `slot`, which must be job-free.
+    pub fn remove_assignment(&mut self, slot: Slot) {
+        let prev = self.assigned.remove(&slot);
+        debug_assert_eq!(prev, Some(None), "removing occupied or absent slot {slot}");
+        self.empty_assigned.remove(&slot);
+    }
+
+    /// Records that `job` now occupies the assigned `slot`.
+    pub fn occupy(&mut self, slot: Slot, job: JobId) {
+        let entry = self
+            .assigned
+            .get_mut(&slot)
+            .expect("occupying unassigned slot");
+        debug_assert!(entry.is_none(), "slot {slot} already occupied");
+        *entry = Some(job);
+        self.empty_assigned.remove(&slot);
+    }
+
+    /// Records that the job at the assigned `slot` left it.
+    pub fn vacate(&mut self, slot: Slot) {
+        let entry = self
+            .assigned
+            .get_mut(&slot)
+            .expect("vacating unassigned slot");
+        debug_assert!(entry.is_some(), "slot {slot} was not occupied");
+        *entry = None;
+        self.empty_assigned.insert(slot);
+    }
+
+    /// Number of assigned slots within `interval` (a slot range).
+    pub fn assigned_in(&self, interval: Window) -> impl Iterator<Item = (Slot, Option<JobId>)> + '_ {
+        self.assigned
+            .range(interval.start()..interval.end())
+            .map(|(&s, &j)| (s, j))
+    }
+}
+
+/// Per-interval state at levels `≥ 1`. An interval with no record behaves
+/// as `lower_occ = ∅` (full allowance) and no fulfilled reservations — the
+/// "never touched" case, whose fulfillment is claimed lazily.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalState {
+    /// Slots occupied by jobs of strictly lower levels. The paper's
+    /// `allowance(I)` is the complement within the interval.
+    pub lower_occ: BTreeSet<Slot>,
+}
+
+/// All state of one scheduler level.
+///
+/// Standing ("baseline") reservations: the paper gives *every* level-ℓ
+/// window one reservation per enclosed interval, unconditionally. We bound
+/// that to window spans `≤ high_water` — the largest span ever inserted at
+/// this level. Because `high_water` only grows and longer windows have the
+/// lowest fulfillment priority, raising it never reduces any existing
+/// quota, so quotas remain a pure, monotone-safe function of the visible
+/// state (Observation 7 still applies).
+#[derive(Clone, Debug, Default)]
+pub struct Level {
+    /// Window states: job counts and fulfilled-reservation slots. Entries
+    /// persist after their last job leaves (standing reservations remain).
+    pub windows: HashMap<Window, WindowState>,
+    /// Materialized intervals, keyed by interval start. An absent entry
+    /// means no lower-level occupancy (full allowance).
+    pub intervals: HashMap<Slot, IntervalState>,
+    /// Largest window span ever inserted at this level (0 = level unused).
+    pub high_water: u64,
+}
+
+impl Level {
+    /// Window spans participating in every chain at this level:
+    /// `2·ispan, 4·ispan, …` up to `high_water`.
+    pub fn chain_spans(&self, ispan: u64) -> impl Iterator<Item = u64> + '_ {
+        let hw = self.high_water;
+        std::iter::successors(Some(2 * ispan), move |&s| s.checked_mul(2))
+            .take_while(move |&s| s <= hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_state_assignment_lifecycle() {
+        let mut w = WindowState::default();
+        w.add_assignment(10);
+        w.add_assignment(20);
+        assert_eq!(w.empty_assigned.len(), 2);
+        w.occupy(10, JobId(1));
+        assert_eq!(w.empty_assigned.iter().copied().collect::<Vec<_>>(), vec![20]);
+        w.vacate(10);
+        w.remove_assignment(10);
+        assert_eq!(w.assigned.len(), 1);
+        assert!(w.empty_assigned.contains(&20));
+    }
+
+    #[test]
+    fn assigned_in_range_query() {
+        let mut w = WindowState::default();
+        for s in [5u64, 9, 12, 31, 32] {
+            w.add_assignment(s);
+        }
+        let within: Vec<Slot> = w
+            .assigned_in(Window::new(8, 32))
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(within, vec![9, 12, 31]);
+    }
+
+    #[test]
+    fn chain_spans_follow_high_water() {
+        let mut l = Level::default();
+        assert_eq!(l.chain_spans(32).count(), 0);
+        l.high_water = 64;
+        assert_eq!(l.chain_spans(32).collect::<Vec<_>>(), vec![64]);
+        l.high_water = 256;
+        assert_eq!(l.chain_spans(32).collect::<Vec<_>>(), vec![64, 128, 256]);
+    }
+}

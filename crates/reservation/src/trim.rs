@@ -1,0 +1,200 @@
+//! Window trimming to `O(γ·n*)` (paper §4, "Trimming Windows to n and
+//! Deamortization").
+//!
+//! The raw reservation scheduler's cost is `O(log* Δ)`. To also get the
+//! `O(log* n)` half of Theorem 1's `O(min{log* n, log* Δ})`, the paper
+//! maintains an estimate `n*` of the active job count (doubling when
+//! exceeded, halving when the count drops below `n*/4`) and trims every
+//! window to span at most `2γn*`: at most `n*` other jobs live inside the
+//! trimmed window, so the instance stays `γ`-underallocated and the number
+//! of populated levels is `O(log* n)`.
+//!
+//! [`TrimmedScheduler`] implements the *amortized* variant: when `n*`
+//! changes, the schedule is rebuilt from scratch (cost `O(n)`, amortized
+//! `O(1)` per request since `Ω(n)` requests separate two rebuilds). The
+//! deamortized even/odd-slot variant is [`crate::deamortized`].
+
+use crate::scheduler::ReservationScheduler;
+use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Tower, Window};
+use std::collections::HashMap;
+
+/// Smallest `n*` we bother tracking; below this trimming is a no-op in
+/// practice and rebuild churn would dominate.
+const MIN_N_STAR: u64 = 8;
+
+/// A [`ReservationScheduler`] wrapped with the paper's `n*` trimming rule
+/// and amortized rebuilds.
+#[derive(Clone, Debug)]
+pub struct TrimmedScheduler {
+    inner: ReservationScheduler,
+    tower: Tower,
+    /// The γ used in the trim bound `2γn*`.
+    gamma: u64,
+    n_star: u64,
+    /// Original aligned windows, pre-trim (rebuilds re-trim from these).
+    originals: HashMap<JobId, Window>,
+    /// Number of full rebuilds performed (observability for experiments).
+    rebuilds: u64,
+}
+
+impl TrimmedScheduler {
+    /// New trimmed scheduler with the paper tower and trim factor `gamma`.
+    pub fn new(gamma: u64) -> Self {
+        Self::with_tower(Tower::paper(), gamma)
+    }
+
+    /// New trimmed scheduler with a custom tower.
+    pub fn with_tower(tower: Tower, gamma: u64) -> Self {
+        assert!(gamma >= 1);
+        TrimmedScheduler {
+            inner: ReservationScheduler::with_tower(tower.clone()),
+            tower,
+            gamma,
+            n_star: MIN_N_STAR,
+            originals: HashMap::new(),
+            rebuilds: 0,
+        }
+    }
+
+    /// Current trim bound: windows are trimmed to span ≤ `2γn*`, rounded up
+    /// to a power of two (trimming needs a power-of-two target).
+    pub fn trim_span(&self) -> u64 {
+        (2 * self.gamma * self.n_star).next_power_of_two()
+    }
+
+    /// Current `n*` estimate.
+    pub fn n_star(&self) -> u64 {
+        self.n_star
+    }
+
+    /// Number of full rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The wrapped scheduler (for invariant checks in tests).
+    pub fn inner(&self) -> &ReservationScheduler {
+        &self.inner
+    }
+
+    fn trim(&self, w: Window) -> Window {
+        w.trim_to(self.trim_span())
+    }
+
+    /// Rebuilds the schedule from scratch after an `n*` change, reporting
+    /// every job whose slot changed.
+    fn rebuild(&mut self, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
+        self.rebuilds += 1;
+        let old: HashMap<JobId, Slot> = self
+            .inner
+            .assignments()
+            .into_iter()
+            .collect();
+        let mut fresh = ReservationScheduler::with_tower(self.tower.clone());
+        // Insert in span order: shorter windows first never displace
+        // anything, so the rebuild itself is cascade-free.
+        let mut jobs: Vec<(JobId, Window)> = self
+            .originals
+            .iter()
+            .map(|(&id, &w)| (id, self.trim(w)))
+            .collect();
+        jobs.sort_by_key(|&(id, w)| (w.span(), id));
+        for &(id, w) in &jobs {
+            fresh.insert(id, w)?;
+        }
+        for (id, w) in jobs {
+            let _ = w;
+            let new_slot = fresh.slot_of(id).expect("just inserted");
+            match old.get(&id) {
+                Some(&s) if s == new_slot => {}
+                Some(&s) => moves.push(SlotMove {
+                    job: id,
+                    from: Some(s),
+                    to: Some(new_slot),
+                }),
+                None => moves.push(SlotMove {
+                    job: id,
+                    from: None,
+                    to: Some(new_slot),
+                }),
+            }
+        }
+        self.inner = fresh;
+        Ok(())
+    }
+
+    fn maybe_resize(&mut self, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
+        let n = self.originals.len() as u64;
+        let mut changed = false;
+        while n > self.n_star {
+            self.n_star *= 2;
+            changed = true;
+        }
+        while self.n_star > MIN_N_STAR && n < self.n_star / 4 {
+            self.n_star /= 2;
+            changed = true;
+        }
+        if changed {
+            self.rebuild(moves)?;
+        }
+        Ok(())
+    }
+}
+
+impl SingleMachineReallocator for TrimmedScheduler {
+    fn insert(&mut self, id: JobId, window: Window) -> Result<Vec<SlotMove>, Error> {
+        if self.originals.contains_key(&id) {
+            return Err(Error::DuplicateJob(id));
+        }
+        if !window.is_aligned() {
+            return Err(Error::UnalignedWindow(window));
+        }
+        self.originals.insert(id, window);
+        let mut moves = Vec::new();
+        // Resize first so the insert itself sees the right trim bound.
+        if let Err(e) = self.maybe_resize(&mut moves) {
+            self.originals.remove(&id);
+            return Err(e);
+        }
+        if self.inner.slot_of(id).is_some() {
+            // The rebuild inserted the new job already.
+            return Ok(moves);
+        }
+        match self.inner.insert(id, self.trim(window)) {
+            Ok(more) => {
+                moves.extend(more);
+                Ok(moves)
+            }
+            Err(e) => {
+                self.originals.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    fn delete(&mut self, id: JobId) -> Result<Vec<SlotMove>, Error> {
+        if !self.originals.contains_key(&id) {
+            return Err(Error::UnknownJob(id));
+        }
+        let mut moves = self.inner.delete(id)?;
+        self.originals.remove(&id);
+        self.maybe_resize(&mut moves)?;
+        Ok(moves)
+    }
+
+    fn slot_of(&self, id: JobId) -> Option<Slot> {
+        self.inner.slot_of(id)
+    }
+
+    fn assignments(&self) -> Vec<(JobId, Slot)> {
+        self.inner.assignments()
+    }
+
+    fn active_count(&self) -> usize {
+        self.originals.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "reservation+trim"
+    }
+}

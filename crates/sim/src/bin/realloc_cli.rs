@@ -1,0 +1,216 @@
+//! `realloc-cli` — replay a request-sequence file against a chosen
+//! scheduler and report costs.
+//!
+//! ```text
+//! realloc_cli <file> [--sched reservation|naive|edf|llf] [--machines M]
+//!             [--gamma G] [--validate] [--gantt T0 T1]
+//! ```
+//!
+//! The file format is one request per line (`realloc_core::textio`):
+//! `+ id arrival deadline` inserts, `- id` deletes, `#` comments.
+//! Generate files from the workload generators, e.g. with `--emit`:
+//!
+//! ```text
+//! realloc_cli --emit doctors-office --seed 7 --len 500 > day.req
+//! realloc_cli day.req --sched reservation --validate
+//! ```
+
+use realloc_baselines::{EdfRescheduler, LlfRescheduler, NaivePeckingScheduler};
+use realloc_core::textio;
+use realloc_core::{Reallocator, RequestSeq};
+use realloc_multi::{ReallocatingScheduler, TheoremOneScheduler};
+use realloc_sim::report::gantt;
+use realloc_sim::runner::{run, RunOptions, RunReport};
+use realloc_sim::stats::Summary;
+use std::process::ExitCode;
+
+struct Args {
+    file: Option<String>,
+    sched: String,
+    machines: usize,
+    gamma: u64,
+    validate: bool,
+    gantt: Option<(u64, u64)>,
+    emit: Option<String>,
+    seed: u64,
+    len: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: None,
+        sched: "reservation".into(),
+        machines: 1,
+        gamma: 8,
+        validate: false,
+        gantt: None,
+        emit: None,
+        seed: 0,
+        len: 1000,
+    };
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sched" => args.sched = next_val(&mut it, "--sched")?,
+            "--machines" => {
+                args.machines = next_val(&mut it, "--machines")?
+                    .parse()
+                    .map_err(|e| format!("--machines: {e}"))?
+            }
+            "--gamma" => {
+                args.gamma = next_val(&mut it, "--gamma")?
+                    .parse()
+                    .map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--validate" => args.validate = true,
+            "--gantt" => {
+                let t0 = next_val(&mut it, "--gantt")?.parse().map_err(|e| format!("--gantt: {e}"))?;
+                let t1 = next_val(&mut it, "--gantt")?.parse().map_err(|e| format!("--gantt: {e}"))?;
+                args.gantt = Some((t0, t1));
+            }
+            "--emit" => args.emit = Some(next_val(&mut it, "--emit")?),
+            "--seed" => {
+                args.seed = next_val(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--len" => {
+                args.len = next_val(&mut it, "--len")?
+                    .parse()
+                    .map_err(|e| format!("--len: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err("usage: realloc_cli <file> [--sched reservation|naive|edf|llf] \
+                            [--machines M] [--gamma G] [--validate] [--gantt T0 T1]\n\
+                            or:    realloc_cli --emit doctors-office|cloud-cluster|train-station \
+                            [--seed S] [--len N] [--machines M]"
+                    .into())
+            }
+            other if !other.starts_with('-') && args.file.is_none() => {
+                args.file = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn report(name: &str, r: &RunReport) {
+    let s = Summary::of(r.meter.samples().iter().map(|x| x.reallocations));
+    println!("scheduler:            {name}");
+    println!("requests executed:    {}", r.executed);
+    println!("requests declined:    {}", r.failures.len());
+    println!(
+        "reallocations:        total {}, mean {:.4}, p99 {}, max {}",
+        r.meter.total_reallocations(),
+        s.mean,
+        s.p99,
+        s.max
+    );
+    println!(
+        "migrations:           total {}, max/request {}",
+        r.meter.total_migrations(),
+        r.meter.max_migrations()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(kind) = &args.emit {
+        let mut gen = match kind.as_str() {
+            "doctors-office" => realloc_workloads::scenarios::doctors_office(7, args.seed),
+            "cloud-cluster" => {
+                realloc_workloads::scenarios::cloud_cluster(args.machines.max(2), args.seed)
+            }
+            "train-station" => {
+                realloc_workloads::scenarios::train_station(args.machines.max(2), args.seed)
+            }
+            other => {
+                eprintln!("unknown workload '{other}'");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", textio::to_text(&gen.generate(args.len)));
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(file) = &args.file else {
+        eprintln!("no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seq: RequestSeq = match textio::from_text(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = seq.validate() {
+        eprintln!("{file}: invalid sequence: {e:?}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} requests, peak {} active, max span {}\n",
+        file,
+        seq.len(),
+        seq.peak_active(),
+        seq.max_span()
+    );
+
+    let opts = RunOptions {
+        validate_each_step: args.validate,
+        fail_fast: false,
+    };
+    let outcome = match args.sched.as_str() {
+        "reservation" => {
+            let mut s = TheoremOneScheduler::theorem_one(args.machines, args.gamma);
+            let r = run(&mut s, &seq, opts).unwrap();
+            report("reservation (Theorem 1)", &r);
+            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+        }
+        "naive" => {
+            let mut s =
+                ReallocatingScheduler::from_factory(args.machines, NaivePeckingScheduler::new);
+            let r = run(&mut s, &seq, opts).unwrap();
+            report("naive pecking order (Lemma 4)", &r);
+            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+        }
+        "edf" => {
+            let mut s = EdfRescheduler::new(args.machines);
+            let r = run(&mut s, &seq, opts).unwrap();
+            report("EDF full recompute", &r);
+            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+        }
+        "llf" => {
+            let mut s = LlfRescheduler::new(args.machines);
+            let r = run(&mut s, &seq, opts).unwrap();
+            report("LLF full recompute", &r);
+            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+        }
+        other => {
+            eprintln!("unknown scheduler '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(g) = outcome {
+        println!("\n{g}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,22 @@
+//! # realloc-sim
+//!
+//! Simulation harness for the reallocation-scheduling experiments:
+//! [`runner`] drives any [`realloc_core::Reallocator`] over a request
+//! sequence with per-request cost metering and optional per-step
+//! feasibility validation; [`stats`] summarizes cost distributions;
+//! [`report`] prints the fixed-width tables recorded in `EXPERIMENTS.md`.
+//!
+//! One binary per experiment lives in `src/bin/` (`exp_*`); each
+//! regenerates one table of `EXPERIMENTS.md`. See `DESIGN.md` §4 for the
+//! experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{run, RunOptions, RunReport};
+pub use stats::Summary;

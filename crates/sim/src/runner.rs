@@ -1,0 +1,149 @@
+//! Drives a scheduler over a request sequence, metering costs and
+//! validating feasibility.
+
+use realloc_core::schedule::validate;
+use realloc_core::{CostMeter, Error, JobId, Reallocator, Request, RequestSeq, Window};
+use std::collections::BTreeMap;
+
+/// Options for [`run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Validate the full schedule against the active set after every
+    /// request (`O(n)` per request — for correctness experiments).
+    pub validate_each_step: bool,
+    /// Stop at the first scheduler error (otherwise skip the request and
+    /// count the failure).
+    pub fail_fast: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            validate_each_step: false,
+            fail_fast: true,
+        }
+    }
+}
+
+/// Result of a [`run`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-request costs (reallocations, migrations, `nᵢ`, `Δᵢ`).
+    pub meter: CostMeter,
+    /// Requests the scheduler failed to service (only populated when
+    /// `fail_fast` is off).
+    pub failures: Vec<(usize, Error)>,
+    /// Requests executed.
+    pub executed: usize,
+}
+
+/// Replays `seq` on `sched`. The meter records the paper's `nᵢ` (active
+/// jobs) and `Δᵢ` (largest active window span) next to each request's
+/// netted costs; validation (if enabled) checks the produced schedule
+/// against the **original** windows after every request.
+pub fn run<R: Reallocator>(
+    sched: &mut R,
+    seq: &RequestSeq,
+    opts: RunOptions,
+) -> Result<RunReport, Error> {
+    let mut meter = CostMeter::new();
+    let mut failures = Vec::new();
+    let mut active: BTreeMap<JobId, Window> = BTreeMap::new();
+    let mut spans: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut executed = 0usize;
+
+    for (i, &req) in seq.requests().iter().enumerate() {
+        let result = sched.request(req);
+        let outcome = match result {
+            Ok(out) => out,
+            Err(e) => {
+                if opts.fail_fast {
+                    return Err(e);
+                }
+                failures.push((i, e));
+                continue;
+            }
+        };
+        executed += 1;
+        match req {
+            Request::Insert { id, window } => {
+                active.insert(id, window);
+                *spans.entry(window.span()).or_insert(0) += 1;
+            }
+            Request::Delete { id } => {
+                if let Some(w) = active.remove(&id) {
+                    let c = spans.get_mut(&w.span()).expect("span tracked");
+                    *c -= 1;
+                    if *c == 0 {
+                        spans.remove(&w.span());
+                    }
+                }
+            }
+        }
+        let max_span = spans.keys().next_back().copied().unwrap_or(0);
+        meter.record(&outcome, active.len() as u64, max_span);
+
+        if opts.validate_each_step {
+            validate(&sched.snapshot(), &active, sched.machines())
+                .unwrap_or_else(|e| panic!("request {i}: invalid schedule: {e}"));
+        }
+    }
+    Ok(RunReport {
+        meter,
+        failures,
+        executed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_baselines::EdfRescheduler;
+    use realloc_core::RequestSeq;
+
+    #[test]
+    fn runner_meters_and_validates() {
+        let mut seq = RequestSeq::new();
+        for i in 0..10u64 {
+            seq.insert(i, realloc_core::Window::new(0, 16));
+        }
+        for i in 0..5u64 {
+            seq.delete(i);
+        }
+        let mut sched = EdfRescheduler::new(2);
+        let report = run(
+            &mut sched,
+            &seq,
+            RunOptions {
+                validate_each_step: true,
+                fail_fast: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.executed, 15);
+        assert_eq!(report.meter.requests(), 15);
+        let last = report.meter.samples().last().unwrap();
+        assert_eq!(last.active_jobs, 5);
+        assert_eq!(last.max_span, 16);
+    }
+
+    #[test]
+    fn fail_fast_off_collects_failures() {
+        let mut seq = RequestSeq::new();
+        seq.insert(1, realloc_core::Window::new(0, 1));
+        seq.insert(2, realloc_core::Window::new(0, 1)); // infeasible on 1 machine
+        seq.insert(3, realloc_core::Window::new(4, 8));
+        let mut sched = EdfRescheduler::new(1);
+        let report = run(
+            &mut sched,
+            &seq,
+            RunOptions {
+                validate_each_step: true,
+                fail_fast: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.failures.len(), 1);
+    }
+}

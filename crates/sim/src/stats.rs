@@ -1,0 +1,94 @@
+//! Small statistics helpers for cost distributions.
+
+/// Five-number-ish summary of a cost distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample set (empty input gives zeros).
+    pub fn of(samples: impl IntoIterator<Item = u64>) -> Summary {
+        let mut v: Vec<u64> = samples.into_iter().collect();
+        if v.is_empty() {
+            return Summary::default();
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let pct = |p: f64| v[((count as f64 - 1.0) * p).round() as usize];
+        Summary {
+            count,
+            mean: v.iter().sum::<u64>() as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: v[count - 1],
+        }
+    }
+}
+
+/// Least-squares slope of `y` against `x` — used to classify growth
+/// curves (e.g. cost vs `log n`: a bounded slope on the log axis while the
+/// linear-axis slope collapses toward zero is the `O(log* n)`-vs-`O(n)`
+/// shape the experiments check).
+pub fn slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let s = Summary::of(1..=100u64);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        // Index (99 × 0.5).round() = 50 → the upper median.
+        assert_eq!(s.p50, 51);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert_eq!(Summary::of(std::iter::empty()), Summary::default());
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((slope(&pts) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_degenerate() {
+        assert_eq!(slope(&[]), 0.0);
+        assert_eq!(slope(&[(1.0, 5.0)]), 0.0);
+        assert_eq!(slope(&[(2.0, 1.0), (2.0, 9.0)]), 0.0);
+    }
+}

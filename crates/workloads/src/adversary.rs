@@ -1,0 +1,215 @@
+//! The paper's lower-bound constructions (§6 and Observation 13).
+
+use realloc_core::{Job, JobId, Reallocator, RequestSeq, Window};
+
+/// The Lemma 11 migration adversary.
+///
+/// > *"There exists a sufficiently large sequence of `s` job
+/// > insertions/deletions on `m > 1` machines, such that any deterministic
+/// > scheduling algorithm has a total migration cost of `Ω(s)`."*
+///
+/// The construction is **adaptive** (it deletes exactly the jobs the
+/// scheduler placed on the first `m/2` machines), so it drives a live
+/// scheduler rather than emitting a static sequence. Each round of `6m`
+/// requests forces `≥ m/2` migrations:
+///
+/// 1. insert `2m` span-2 jobs with window `[0, 2)` — the only feasible
+///    schedule has two per machine;
+/// 2. delete the `m` jobs on the first `⌈m/2⌉` machines;
+/// 3. insert `m` span-1 jobs with window `[0, 1)` — now every machine needs
+///    a span-1 job at slot 0 and a span-2 job at slot 1, so half the
+///    remaining span-2 jobs must migrate;
+/// 4. delete everything.
+#[derive(Clone, Debug)]
+pub struct Lemma11Adversary {
+    next_id: u64,
+}
+
+/// What a [`Lemma11Adversary`] run measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lemma11Report {
+    /// Requests issued.
+    pub requests: u64,
+    /// Total migrations over the run (netted per request).
+    pub migrations: u64,
+    /// Total reallocations over the run (netted per request).
+    pub reallocations: u64,
+}
+
+impl Default for Lemma11Adversary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lemma11Adversary {
+    /// New adversary.
+    pub fn new() -> Self {
+        Lemma11Adversary { next_id: 0 }
+    }
+
+    fn fresh(&mut self) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Runs `rounds` rounds against `sched` (which must have `m ≥ 2`
+    /// machines and start empty), returning the measured costs.
+    pub fn run<R: Reallocator>(
+        &mut self,
+        sched: &mut R,
+        rounds: usize,
+    ) -> Result<Lemma11Report, realloc_core::Error> {
+        let m = sched.machines();
+        assert!(m >= 2, "Lemma 11 needs m > 1");
+        assert_eq!(sched.active_count(), 0, "scheduler must start empty");
+        let mut report = Lemma11Report::default();
+        let tally = |out: realloc_core::RequestOutcome, report: &mut Lemma11Report| {
+            let net = out.netted();
+            report.requests += 1;
+            report.migrations += net.migration_cost();
+            report.reallocations += net.reallocation_cost();
+        };
+
+        for _ in 0..rounds {
+            // Step 1: 2m span-2 jobs.
+            let mut span2: Vec<JobId> = Vec::with_capacity(2 * m);
+            for _ in 0..2 * m {
+                let id = self.fresh();
+                tally(sched.insert(id, Window::new(0, 2))?, &mut report);
+                span2.push(id);
+            }
+            // Step 2: delete the jobs on the first ⌈m/2⌉ machines.
+            let snap = sched.snapshot();
+            let half = m.div_ceil(2);
+            let doomed: Vec<JobId> = span2
+                .iter()
+                .copied()
+                .filter(|&id| snap.placement(id).is_some_and(|p| p.machine < half))
+                .collect();
+            for id in &doomed {
+                tally(sched.delete(*id)?, &mut report);
+            }
+            span2.retain(|id| !doomed.contains(id));
+            // Step 3: m span-1 jobs.
+            let mut span1 = Vec::with_capacity(m);
+            for _ in 0..m {
+                let id = self.fresh();
+                tally(sched.insert(id, Window::new(0, 1))?, &mut report);
+                span1.push(id);
+            }
+            // Step 4: delete everything.
+            for id in span2.drain(..).chain(span1.drain(..)) {
+                tally(sched.delete(id)?, &mut report);
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// The Lemma 12 toggle: a static sequence forcing `Ω(s²)` total
+/// reallocations on **any** scheduler when there is no slack.
+///
+/// `eta` staircase jobs (job `j` has window `[j, j+2)`) stay active; each
+/// round inserts and deletes a unit-window job at the front (pushing every
+/// staircase job to its late slot) and then at the back (pulling them all
+/// back to their early slot).
+pub fn lemma12_toggle(eta: u64, rounds: usize) -> RequestSeq {
+    let mut seq = RequestSeq::new();
+    for j in 0..eta {
+        seq.insert(j, Window::new(j, j + 2));
+    }
+    let mut next = eta;
+    for _ in 0..rounds {
+        seq.insert(next, Window::new(0, 1));
+        seq.delete(next);
+        next += 1;
+        seq.insert(next, Window::new(eta, eta + 1));
+        seq.delete(next);
+        next += 1;
+    }
+    seq
+}
+
+/// A request over sized jobs (Observation 13 only — the main model is
+/// unit-size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizedRequest {
+    /// Insert a sized job.
+    Insert(Job),
+    /// Delete a job.
+    Delete(JobId),
+}
+
+/// The Observation 13 slide: `k` unit jobs share the window `[0, 2γk)` with
+/// one size-`k` job whose window slides across in steps of `k`. Every slide
+/// (2 requests) forces each unit job to be rescheduled at least once per
+/// full sweep, for `Ω(kn)` aggregate cost over `n` repetitions — for **any**
+/// scheduler, at any constant underallocation `γ`.
+pub fn obs13_slide(gamma: u64, k: u64, sweeps: usize) -> Vec<SizedRequest> {
+    assert!(gamma >= 1 && k >= 1);
+    let m = 2 * gamma * k; // schedule length
+    let mut reqs = Vec::new();
+    for i in 0..k {
+        reqs.push(SizedRequest::Insert(Job::unit(i, Window::new(0, m))));
+    }
+    let mut next = k;
+    reqs.push(SizedRequest::Insert(Job::sized(
+        next,
+        Window::new(0, k),
+        k,
+    )));
+    for _ in 0..sweeps {
+        for pos in 1..(m / k) {
+            reqs.push(SizedRequest::Delete(JobId(next)));
+            next += 1;
+            reqs.push(SizedRequest::Insert(Job::sized(
+                next,
+                Window::new(pos * k, (pos + 1) * k),
+                k,
+            )));
+        }
+        // Slide back to the start for the next sweep.
+        reqs.push(SizedRequest::Delete(JobId(next)));
+        next += 1;
+        reqs.push(SizedRequest::Insert(Job::sized(
+            next,
+            Window::new(0, k),
+            k,
+        )));
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma12_sequence_shape() {
+        let seq = lemma12_toggle(8, 3);
+        seq.validate().unwrap();
+        // 8 inserts + 3 rounds × 4 requests.
+        assert_eq!(seq.len(), 8 + 12);
+        assert_eq!(seq.peak_active(), 9);
+    }
+
+    #[test]
+    fn obs13_sequence_shape() {
+        let reqs = obs13_slide(2, 4, 1);
+        // k unit inserts + big insert + (m/k − 1 + 1) slides × 2 requests.
+        let slides = (2 * 2 * 4) / 4; // m/k = 2γ
+        assert_eq!(reqs.len(), 4 + 1 + 2 * slides as usize);
+        // Exactly one big job active at any time.
+        let mut big_active = 0i64;
+        for r in &reqs {
+            match r {
+                SizedRequest::Insert(j) if j.size > 1 => big_active += 1,
+                SizedRequest::Delete(_) => big_active -= 1,
+                _ => {}
+            }
+            assert!((0..=1).contains(&big_active));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Themed workload presets.
+//!
+//! These wrap [`crate::churn::ChurnGenerator`] with parameters that mirror
+//! the motivating settings from the paper's introduction: appointment
+//! booking with reschedule-averse patients, and machine scheduling in a
+//! shared compute cluster.
+
+use crate::churn::{ChurnConfig, ChurnGenerator};
+
+/// The doctor's office of paper §1: a working horizon of `days` days of 32
+/// quarter-hour slots each, patients asking for appointment windows from a
+/// single slot up to half a day, arbitrary (unaligned) start times, about
+/// 20% cancellations (modelled by the churn's delete share), and enough
+/// slack that the office can always say yes (`γ = 8` density).
+pub fn doctors_office(days: u64, seed: u64) -> ChurnGenerator {
+    let horizon = (days * 32).next_power_of_two();
+    ChurnGenerator::new(
+        ChurnConfig {
+            machines: 1,
+            gamma: 8,
+            horizon,
+            spans: vec![1, 2, 4, 8, 16],
+            target_active: (horizon / 16) as usize,
+            insert_bias: 0.8,
+            unaligned: true,
+        },
+        seed,
+    )
+}
+
+/// A batch cluster: `machines` identical workers, jobs with SLA windows
+/// from minutes (span 64) to a day (span 4096) on a one-slot-per-minute
+/// axis, heavy churn around a steady backlog, moderate slack (`γ = 16`).
+pub fn cloud_cluster(machines: usize, seed: u64) -> ChurnGenerator {
+    ChurnGenerator::new(
+        ChurnConfig {
+            machines,
+            gamma: 16,
+            horizon: 1 << 16,
+            spans: vec![64, 128, 256, 1024, 4096],
+            target_active: machines * 256,
+            insert_bias: 0.55,
+            unaligned: true,
+        },
+        seed,
+    )
+}
+
+/// A train station (cf. the robust-timetabling literature the paper cites):
+/// `platforms` platforms, arrivals needing one slot inside tight windows
+/// (a few minutes of allowed shift), very high occupancy pressure — the
+/// low-γ regime where the γ ablation (E10) operates.
+pub fn train_station(platforms: usize, seed: u64) -> ChurnGenerator {
+    ChurnGenerator::new(
+        ChurnConfig {
+            machines: platforms,
+            gamma: 4,
+            horizon: 1 << 12,
+            spans: vec![2, 4, 8],
+            target_active: platforms * 256,
+            insert_bias: 0.7,
+            unaligned: true,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doctors_office_generates() {
+        let mut g = doctors_office(8, 1);
+        let seq = g.generate(300);
+        seq.validate().unwrap();
+        assert!(seq.len() >= 200);
+        assert!(seq.max_span() <= 16);
+    }
+
+    #[test]
+    fn train_station_generates() {
+        let mut g = train_station(3, 4);
+        let seq = g.generate(800);
+        seq.validate().unwrap();
+        assert!(seq.max_span() <= 8);
+        assert!(seq.len() > 500);
+    }
+
+    #[test]
+    fn cloud_cluster_generates() {
+        let mut g = cloud_cluster(4, 2);
+        let seq = g.generate(2000);
+        seq.validate().unwrap();
+        // insert_bias 0.55 grows the active set by ~0.1 per request.
+        assert!(seq.peak_active() > 120, "peak {}", seq.peak_active());
+    }
+}

@@ -1,0 +1,74 @@
+//! The doctor's office from the paper's introduction.
+//!
+//! Patients call asking for an appointment inside a time window; some
+//! cancel. The office promises a concrete slot immediately and hates
+//! rescheduling people. This example books a week of appointments through
+//! the Theorem-1 scheduler and reports how many patients ever had to be
+//! rescheduled — compared against the same stream through a classical
+//! EDF re-planner.
+//!
+//! ```sh
+//! cargo run --release --example doctors_office
+//! ```
+
+use realloc_sched::baselines::EdfRescheduler;
+use realloc_sched::workloads::scenarios::doctors_office;
+use realloc_sched::{Reallocator, Request, TheoremOneScheduler};
+
+fn main() {
+    let requests = doctors_office(7, 2024).generate(2000);
+    println!(
+        "A week of bookings: {} requests, peak {} active appointments\n",
+        requests.len(),
+        requests.peak_active()
+    );
+
+    let mut ours = TheoremOneScheduler::theorem_one(1, 8);
+    let mut edf = EdfRescheduler::new(1);
+
+    let mut ours_moved = 0u64;
+    let mut ours_worst = 0u64;
+    let mut edf_moved = 0u64;
+    let mut edf_worst = 0u64;
+    for &r in requests.requests() {
+        let out = ours.request(r).expect("office has slack");
+        let cost = out.netted().reallocation_cost();
+        ours_moved += cost;
+        ours_worst = ours_worst.max(cost);
+
+        let out = edf.request(r).expect("feasible");
+        let cost = out.netted().reallocation_cost();
+        edf_moved += cost;
+        edf_worst = edf_worst.max(cost);
+    }
+
+    println!("reallocation cost (patients rescheduled):");
+    println!("  reservation scheduler: {ours_moved} total, worst request {ours_worst}");
+    println!("  EDF re-planning:       {edf_moved} total, worst request {edf_worst}");
+    println!(
+        "\nEvery patient kept an appointment inside their window at all times; \
+         the reservation scheduler just promises far fewer phone calls."
+    );
+    match validate_final(&ours, &requests) {
+        Ok(()) => println!("final schedule validated ✓"),
+        Err(e) => println!("VALIDATION FAILED: {e}"),
+    }
+}
+
+fn validate_final(
+    sched: &TheoremOneScheduler,
+    requests: &realloc_sched::RequestSeq,
+) -> Result<(), realloc_sched::core::ValidationError> {
+    let mut active = std::collections::BTreeMap::new();
+    for &r in requests.requests() {
+        match r {
+            Request::Insert { id, window } => {
+                active.insert(id, window);
+            }
+            Request::Delete { id } => {
+                active.remove(&id);
+            }
+        }
+    }
+    realloc_sched::core::schedule::validate(&sched.snapshot(), &active, 1)
+}

@@ -1,0 +1,77 @@
+//! Integration: the adaptive scheduler as the per-machine backend of the
+//! full multi-machine pipeline — over-packed phases degrade to Lemma 4
+//! economics, slack phases recover to Theorem 1 economics, and the
+//! schedule stays feasible throughout.
+
+use realloc_sched::baselines::NaivePeckingScheduler;
+use realloc_sched::core::schedule::validate;
+use realloc_sched::multi::adaptive::AdaptiveScheduler;
+use realloc_sched::{
+    JobId, Reallocator, ReallocatingScheduler, ReservationScheduler, Window,
+};
+use std::collections::BTreeMap;
+
+type Backend = AdaptiveScheduler<
+    ReservationScheduler,
+    NaivePeckingScheduler,
+    fn() -> ReservationScheduler,
+    fn() -> NaivePeckingScheduler,
+>;
+
+fn pipeline(machines: usize) -> ReallocatingScheduler<Backend> {
+    ReallocatingScheduler::from_factory(machines, || {
+        AdaptiveScheduler::new(
+            ReservationScheduler::new as fn() -> ReservationScheduler,
+            NaivePeckingScheduler::new as fn() -> NaivePeckingScheduler,
+        )
+    })
+}
+
+#[test]
+fn overpack_then_recover_through_the_pipeline() {
+    let machines = 2;
+    let mut sched = pipeline(machines);
+    let mut active: BTreeMap<JobId, Window> = BTreeMap::new();
+    let mut next = 0u64;
+
+    // Phase 1: saturate a region across both machines (γ → 1): per-machine
+    // backends must degrade rather than refuse.
+    let w = Window::new(0, 256);
+    for _ in 0..(machines as u64 * 256) {
+        let id = JobId(next);
+        next += 1;
+        sched.insert(id, w).unwrap();
+        active.insert(id, w);
+    }
+    validate(&sched.snapshot(), &active, machines).unwrap();
+    assert!(
+        (0..machines).any(|m| sched.backend(m).degradations() > 0),
+        "full saturation must degrade at least one machine"
+    );
+
+    // Phase 2: drain most of it; backends recover to the fast path.
+    let doomed: Vec<JobId> = active.keys().copied().take(active.len() - 8).collect();
+    for id in doomed {
+        let out = sched.delete(id).unwrap();
+        active.remove(&id);
+        assert!(out.netted().migration_cost() <= 1);
+    }
+    validate(&sched.snapshot(), &active, machines).unwrap();
+    for m in 0..machines {
+        assert_eq!(
+            sched.backend(m).mode(),
+            realloc_sched::multi::adaptive::Mode::Fast,
+            "machine {m} did not recover"
+        );
+    }
+
+    // Phase 3: normal slack-heavy operation works again.
+    for i in 0..64u64 {
+        let w = Window::with_span(1024 + (i % 8) * 512, 512);
+        let id = JobId(next);
+        next += 1;
+        sched.insert(id, w).unwrap();
+        active.insert(id, w);
+    }
+    validate(&sched.snapshot(), &active, machines).unwrap();
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full Theorem-1 pipeline driven by
+//! the workload generators, validated by the core feasibility machinery.
+
+use realloc_sched::core::schedule::validate;
+use realloc_sched::sim::harness::churn_seq;
+use realloc_sched::sim::runner::{run, RunOptions};
+use realloc_sched::workloads::scenarios::{cloud_cluster, doctors_office};
+use realloc_sched::{JobId, Reallocator, Request, RequestSeq, TheoremOneScheduler, Window};
+use std::collections::BTreeMap;
+
+fn active_after(seq: &RequestSeq) -> BTreeMap<JobId, Window> {
+    let mut active = BTreeMap::new();
+    for &r in seq.requests() {
+        match r {
+            Request::Insert { id, window } => {
+                active.insert(id, window);
+            }
+            Request::Delete { id } => {
+                active.remove(&id);
+            }
+        }
+    }
+    active
+}
+
+#[test]
+fn theorem_one_on_certified_churn_stays_feasible() {
+    for &(m, gamma) in &[(1usize, 8u64), (2, 8), (4, 16)] {
+        let seq = churn_seq(m, gamma, 150 * m, 1 << 10, true, 2500, 21);
+        let mut sched = TheoremOneScheduler::theorem_one(m, gamma);
+        let report = run(
+            &mut sched,
+            &seq,
+            RunOptions {
+                validate_each_step: true,
+                fail_fast: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.executed, seq.len());
+        assert!(report.meter.max_migrations() <= 1, "m={m}");
+        for machine in 0..m {
+            sched.backend(machine).inner().check_invariants().unwrap();
+        }
+    }
+}
+
+#[test]
+fn migrations_at_most_one_per_request_everywhere() {
+    let seq = churn_seq(6, 16, 600, 1 << 12, true, 4000, 33);
+    let mut sched = TheoremOneScheduler::theorem_one(6, 16);
+    let report = run(&mut sched, &seq, RunOptions::default()).unwrap();
+    assert!(report
+        .meter
+        .samples()
+        .iter()
+        .all(|s| s.migrations <= 1));
+}
+
+#[test]
+fn scenarios_run_end_to_end() {
+    let seq = doctors_office(5, 9).generate(1200);
+    let mut sched = TheoremOneScheduler::theorem_one(1, 8);
+    run(&mut sched, &seq, RunOptions::default()).unwrap();
+    validate(&sched.snapshot(), &active_after(&seq), 1).unwrap();
+
+    let seq = cloud_cluster(4, 10).generate(3000);
+    let mut sched = TheoremOneScheduler::theorem_one(4, 16);
+    run(&mut sched, &seq, RunOptions::default()).unwrap();
+    validate(&sched.snapshot(), &active_after(&seq), 4).unwrap();
+}
+
+#[test]
+fn identical_stream_all_schedulers_feasible() {
+    use realloc_sched::baselines::{EdfRescheduler, LlfRescheduler, NaivePeckingScheduler};
+    use realloc_sched::ReallocatingScheduler;
+
+    let seq = churn_seq(2, 8, 120, 1 << 8, false, 1500, 5);
+    let active = active_after(&seq);
+
+    let mut ours = TheoremOneScheduler::theorem_one(2, 8);
+    run(&mut ours, &seq, RunOptions::default()).unwrap();
+    validate(&ours.snapshot(), &active, 2).unwrap();
+
+    let mut naive = ReallocatingScheduler::from_factory(2, NaivePeckingScheduler::new);
+    run(&mut naive, &seq, RunOptions::default()).unwrap();
+    validate(&naive.snapshot(), &active, 2).unwrap();
+
+    let mut edf = EdfRescheduler::new(2);
+    run(&mut edf, &seq, RunOptions::default()).unwrap();
+    validate(&edf.snapshot(), &active, 2).unwrap();
+
+    let mut llf = LlfRescheduler::new(2);
+    run(&mut llf, &seq, RunOptions::default()).unwrap();
+    validate(&llf.snapshot(), &active, 2).unwrap();
+}
+
+#[test]
+fn costs_reported_match_snapshot_diffs() {
+    // The outcome moves must exactly explain the before/after snapshots.
+    let seq = churn_seq(2, 8, 80, 1 << 8, true, 800, 8);
+    let mut sched = TheoremOneScheduler::theorem_one(2, 8);
+    let mut before = sched.snapshot();
+    for &r in seq.requests() {
+        let out = sched.request(r).unwrap();
+        let after = sched.snapshot();
+        let expected = before.diff(&after);
+        let got = out.netted();
+        // Same multiset of (job, from, to), order-insensitive.
+        let mut a: Vec<_> = expected.iter().map(|m| (m.job, m.from, m.to)).collect();
+        let mut b: Vec<_> = got.moves.iter().map(|m| (m.job, m.from, m.to)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "outcome does not explain the schedule change");
+        before = after;
+    }
+}
+
+#[test]
+fn log_star_bound_sanity() {
+    // The per-request cost (excluding trim rebuilds) stays within a small
+    // multiple of log*(Δ) on certified churn.
+    let seq = churn_seq(1, 8, 500, 1 << 20, false, 5000, 55);
+    let mut sched = realloc_sched::ReallocatingScheduler::from_factory(
+        1,
+        realloc_sched::ReservationScheduler::new,
+    );
+    let report = run(&mut sched, &seq, RunOptions::default()).unwrap();
+    let bound = 8 * (realloc_sched::log_star(1 << 20) as u64 + 1);
+    assert!(
+        report.meter.max_reallocations() <= bound,
+        "max {} exceeds O(log* Δ) sanity bound {bound}",
+        report.meter.max_reallocations()
+    );
+}
