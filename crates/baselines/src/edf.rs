@@ -10,9 +10,7 @@
 //! a feasible schedule when one exists.
 
 use realloc_core::feasibility::edf_schedule;
-use realloc_core::{
-    Error, Job, JobId, Reallocator, RequestOutcome, ScheduleSnapshot, Window,
-};
+use realloc_core::{Error, Job, JobId, Reallocator, RequestOutcome, ScheduleSnapshot, Window};
 use std::collections::BTreeMap;
 
 /// Full-recompute EDF rescheduler on `m` machines, arbitrary windows.

@@ -10,9 +10,7 @@
 //! show the same `Θ(n)` cascades for both.
 
 use realloc_core::cost::Placement;
-use realloc_core::{
-    Error, JobId, Reallocator, RequestOutcome, ScheduleSnapshot, Window,
-};
+use realloc_core::{Error, JobId, Reallocator, RequestOutcome, ScheduleSnapshot, Window};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 

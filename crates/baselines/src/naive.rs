@@ -40,9 +40,7 @@ impl NaivePeckingScheduler {
             }
             expect = s + 1;
             let (jw, _) = self.jobs[&id];
-            if jw.span() > w.span()
-                && victim.is_none_or(|(_, vw, _)| jw.span() < vw.span())
-            {
+            if jw.span() > w.span() && victim.is_none_or(|(_, vw, _)| jw.span() < vw.span()) {
                 victim = Some((id, jw, s));
             }
         }
@@ -200,8 +198,15 @@ mod tests {
         // A span-1 job aimed at the occupied left edge cascades through at
         // most one job per distinct span.
         let m = s.insert(JobId(6), Window::new(0, 1)).unwrap();
-        assert!(m.len() <= 5, "cascade of {} exceeds distinct spans", m.len());
-        assert!(m.len() >= 2, "the left edge is occupied; a cascade is forced");
+        assert!(
+            m.len() <= 5,
+            "cascade of {} exceeds distinct spans",
+            m.len()
+        );
+        assert!(
+            m.len() >= 2,
+            "the left edge is occupied; a cascade is forced"
+        );
     }
 
     #[test]

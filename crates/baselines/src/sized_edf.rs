@@ -91,7 +91,11 @@ impl SizedEdfScheduler {
         if job.window.span() < job.size {
             return Err(Error::UnsupportedJob {
                 job: job.id,
-                detail: format!("size {} exceeds window span {}", job.size, job.window.span()),
+                detail: format!(
+                    "size {} exceeds window span {}",
+                    job.size,
+                    job.window.span()
+                ),
             });
         }
         self.active.insert(job.id, (job.window, job.size));
@@ -218,6 +222,9 @@ mod tests {
             total += out.netted().reallocation_cost();
         }
         // 2γ−1 = 3 toggles; each should move on the order of k unit jobs.
-        assert!(total >= k, "sliding big job should displace unit jobs: {total}");
+        assert!(
+            total >= k,
+            "sliding big job should displace unit jobs: {total}"
+        );
     }
 }

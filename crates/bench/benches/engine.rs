@@ -1,0 +1,60 @@
+//! E13 bench — batched engine ingestion across shard counts.
+//!
+//! One fixed churn workload (unaligned windows, γ = 8) is replayed
+//! through the engine at 1–16 shards, sequential and parallel flush, to
+//! seed the serving-layer perf trajectory. Results land in
+//! `BENCH_engine_ingest.json` (see the criterion shim's `BENCH_OUT_DIR`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use realloc_engine::Engine;
+use realloc_sim::harness::{churn_seq, engine_config};
+
+const REQUESTS: usize = 20_000;
+const BATCH: usize = 256;
+
+fn bench_engine_ingest(c: &mut Criterion) {
+    let backend = realloc_engine::BackendKind::TheoremOne { gamma: 8 };
+    let seq = churn_seq(16, 8, 1024, 1 << 12, true, REQUESTS, 13);
+    let mut group = c.benchmark_group("engine_ingest");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    for &shards in &[1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("sequential", shards), &seq, |b, seq| {
+            b.iter(|| {
+                let mut e = Engine::new(engine_config(shards, 1, backend, false));
+                e.ingest(seq, BATCH)
+            })
+        });
+    }
+    for &shards in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("parallel", shards), &seq, |b, seq| {
+            b.iter(|| {
+                let mut e = Engine::new(engine_config(shards, 1, backend, true));
+                e.ingest(seq, BATCH)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let backend = realloc_engine::BackendKind::TheoremOne { gamma: 8 };
+    let seq = churn_seq(4, 8, 256, 1 << 12, true, REQUESTS, 29);
+    let mut group = c.benchmark_group("engine_batch_size");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    for &batch in &[16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &seq, |b, seq| {
+            b.iter(|| {
+                let mut e = Engine::new(engine_config(4, 1, backend, false));
+                e.ingest(seq, batch)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_ingest, bench_batch_size
+}
+criterion_main!(benches);

@@ -38,8 +38,7 @@ fn bench_vs_n(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &seq, |b, seq| {
             b.iter(|| {
-                let mut s =
-                    ReallocatingScheduler::from_factory(1, NaivePeckingScheduler::new);
+                let mut s = ReallocatingScheduler::from_factory(1, NaivePeckingScheduler::new);
                 replay(&mut s, seq);
             })
         });
@@ -81,8 +80,7 @@ fn bench_vs_span(c: &mut Criterion) {
             &seq,
             |b, seq| {
                 b.iter(|| {
-                    let mut s =
-                        ReallocatingScheduler::from_factory(1, ReservationScheduler::new);
+                    let mut s = ReallocatingScheduler::from_factory(1, ReservationScheduler::new);
                     replay(&mut s, seq);
                 })
             },

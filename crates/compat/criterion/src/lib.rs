@@ -1,0 +1,345 @@
+//! Offline drop-in shim for the subset of the `criterion` crate API this
+//! workspace uses (the build environment has no crates.io access).
+//!
+//! Implements [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is warmed up, an iteration
+//! count is calibrated so one sample lasts ≈`SAMPLE_TARGET_MS`, and
+//! `sample_size` samples are collected; mean/median/min ns per iteration
+//! are printed and appended to `BENCH_<group>.json` under
+//! `$BENCH_OUT_DIR` (default `target/shim-bench/`) to seed the repo's
+//! perf trajectory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+const SAMPLE_TARGET_MS: u64 = 20;
+const WARMUP_MS: u64 = 50;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Declared per-iteration work, used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Id that is just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+    throughput_per_sec: Option<f64>,
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::calibrating();
+        f(&mut b); // warmup + calibration pass
+        let iters = b.calibrated_iters();
+        let mut times = Vec::with_capacity(self.criterion.sample_size);
+        for _ in 0..self.criterion.sample_size {
+            let mut b = Bencher::measuring(iters);
+            f(&mut b);
+            times.push(b.elapsed_ns() / iters as f64);
+        }
+        times.sort_by(|a, c| a.partial_cmp(c).expect("timings are finite"));
+        let mean_ns = times.iter().sum::<f64>() / times.len() as f64;
+        let median_ns = times[times.len() / 2];
+        let min_ns = times[0];
+        let throughput_per_sec = self.throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            per_iter * 1e9 / median_ns
+        });
+        let thrpt = throughput_per_sec
+            .map(|r| format!("  thrpt: {:>12.0} elem/s", r))
+            .unwrap_or_default();
+        println!(
+            "bench {:<40} time: [{:>10.1} ns/iter median, {:>10.1} mean]{}",
+            format!("{}/{}", self.name, id.id),
+            median_ns,
+            mean_ns,
+            thrpt
+        );
+        self.results.push(BenchResult {
+            id: id.id,
+            mean_ns,
+            median_ns,
+            min_ns,
+            iters_per_sample: iters,
+            samples: self.criterion.sample_size,
+            throughput_per_sec,
+        });
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Writes the group's `BENCH_<group>.json` and ends the group.
+    pub fn finish(self) {
+        let dir =
+            std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| "target/shim-bench".to_string());
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = format!("{dir}/BENCH_{sanitized}.json");
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        json.push_str("  \"unit\": \"ns_per_iter\",\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let thrpt = r
+                .throughput_per_sec
+                .map(|t| format!(", \"throughput_per_sec\": {t:.1}"))
+                .unwrap_or_default();
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}{}}}{}\n",
+                r.id, r.median_ns, r.mean_ns, r.min_ns, r.iters_per_sample, r.samples, thrpt, sep
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(json.as_bytes());
+        }
+    }
+}
+
+enum BenchMode {
+    /// Warmup: run for `WARMUP_MS`, record the per-iteration estimate.
+    Calibrating { est_ns: f64 },
+    /// Timed run of a fixed iteration count.
+    Measuring { iters: u64, elapsed: Duration },
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    mode: BenchMode,
+}
+
+impl Bencher {
+    fn calibrating() -> Self {
+        Bencher {
+            mode: BenchMode::Calibrating { est_ns: 1.0 },
+        }
+    }
+
+    fn measuring(iters: u64) -> Self {
+        Bencher {
+            mode: BenchMode::Measuring {
+                iters,
+                elapsed: Duration::ZERO,
+            },
+        }
+    }
+
+    /// Times `payload`, discarding its output.
+    pub fn iter<O>(&mut self, mut payload: impl FnMut() -> O) {
+        match &mut self.mode {
+            BenchMode::Calibrating { est_ns } => {
+                let budget = Duration::from_millis(WARMUP_MS);
+                let start = Instant::now();
+                let mut runs = 0u64;
+                while start.elapsed() < budget {
+                    std::hint::black_box(payload());
+                    runs += 1;
+                }
+                *est_ns = start.elapsed().as_nanos() as f64 / runs as f64;
+            }
+            BenchMode::Measuring { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    std::hint::black_box(payload());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+
+    fn calibrated_iters(&self) -> u64 {
+        match &self.mode {
+            BenchMode::Calibrating { est_ns } => {
+                let target_ns = (SAMPLE_TARGET_MS * 1_000_000) as f64;
+                (target_ns / est_ns.max(1.0)).clamp(1.0, 1e9) as u64
+            }
+            BenchMode::Measuring { .. } => unreachable!("calibration mode only"),
+        }
+    }
+
+    fn elapsed_ns(&self) -> f64 {
+        match &self.mode {
+            BenchMode::Measuring { elapsed, .. } => elapsed.as_nanos() as f64,
+            BenchMode::Calibrating { .. } => unreachable!("measuring mode only"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into one named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_measurement_run() {
+        std::env::set_var("BENCH_OUT_DIR", "target/shim-bench-test");
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        assert_eq!(group.results.len(), 1);
+        assert!(group.results[0].median_ns > 0.0);
+        group.finish();
+        let written = std::fs::read_to_string("target/shim-bench-test/BENCH_shim_smoke.json")
+            .expect("json written");
+        assert!(written.contains("\"group\": \"shim_smoke\""));
+        assert!(written.contains("throughput_per_sec"));
+    }
+}

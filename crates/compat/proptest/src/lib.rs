@@ -1,0 +1,193 @@
+//! Offline drop-in shim for the subset of the `proptest` crate API this
+//! workspace uses (the build environment has no crates.io access).
+//!
+//! Implemented surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` inner attribute), [`strategy::Strategy`] with
+//! `prop_map`, integer-range and tuple strategies, `any::<T>()` for
+//! primitives, `prop::collection::vec`, [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` randomized executions from a
+//! deterministic per-test seed (derived from the test name, overridable
+//! via the `PROPTEST_SEED` environment variable). There is **no
+//! shrinking** — on failure the assert's own panic message plus the
+//! reported case seed reproduce the input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `proptest!` doc example necessarily shows `#[test]` inside a
+// doctest — that is the macro's real calling convention.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Collection strategies at the crate root (proptest exposes both paths).
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines randomized property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::base_seed(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(seed, case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let case_guard = $crate::test_runner::CaseGuard::new(
+                        stringify!($name), seed, case,
+                    );
+                    $body
+                    case_guard.passed();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted union of strategies producing the same value type.
+///
+/// ```
+/// use proptest::prelude::*;
+/// let s = prop_oneof![
+///     3 => (0u64..10).prop_map(|v| v as i64),
+///     1 => (0u64..10).prop_map(|v| -(v as i64)),
+/// ];
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 5u64..100, b in 0usize..=7) {
+            prop_assert!((5..100).contains(&a));
+            prop_assert!(b <= 7);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec((0u32..4, any::<bool>()), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for (x, _) in v {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            2 => (0u64..50).prop_map(|x| x as i64),
+            1 => (0u64..50).prop_map(|x| -(x as i64) - 1),
+        ]) {
+            prop_assert!((-50..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn wide_signed_ranges_do_not_overflow() {
+        let seed = crate::test_runner::base_seed("wide");
+        let mut rng = crate::test_runner::TestRng::for_case(seed, 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(i64::MIN..i64::MAX), &mut rng);
+            assert!(v < i64::MAX);
+            let w = Strategy::generate(&(i32::MIN..=i32::MAX), &mut rng);
+            let _ = w;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seed = crate::test_runner::base_seed("fixed");
+        let gen = |case| {
+            let mut rng = crate::test_runner::TestRng::for_case(seed, case);
+            Strategy::generate(&(0u64..1_000_000), &mut rng)
+        };
+        for case in 0..10 {
+            assert_eq!(gen(case), gen(case));
+        }
+    }
+}

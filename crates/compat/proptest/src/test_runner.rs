@@ -1,0 +1,136 @@
+//! Test configuration, the deterministic RNG, and failure reporting.
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Derives the per-test base seed: FNV-1a of the test name, overridable
+/// via the `PROPTEST_SEED` environment variable (for reproducing CI
+/// failures locally).
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic generator handed to strategies (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for case number `case` of a test with base seed `seed`.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        let mut x = seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, width)` (rejection sampled, no modulo bias).
+    pub fn below(&mut self, width: u64) -> u64 {
+        assert!(width > 0, "below(0)");
+        let zone = u64::MAX - (u64::MAX % width);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % width;
+            }
+        }
+    }
+}
+
+/// Prints reproduction info when a case panics (armed on construction,
+/// disarmed by [`CaseGuard::passed`]; the report fires from `Drop` during
+/// the assert's unwind).
+pub struct CaseGuard {
+    test: &'static str,
+    seed: u64,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(test: &'static str, seed: u64, case: u32) -> Self {
+        CaseGuard {
+            test,
+            seed,
+            case,
+            armed: true,
+        }
+    }
+
+    /// Marks the case as passed (no report on drop).
+    pub fn passed(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: test '{}' failed at case {} (base seed {}); \
+                 rerun with PROPTEST_SEED={} to reproduce",
+                self.test, self.case, self.seed, self.seed
+            );
+        }
+    }
+}
+
+/// Error type kept for API familiarity (the shim reports via panics).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

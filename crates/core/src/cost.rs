@@ -123,8 +123,7 @@ impl RequestOutcome {
     /// Moves are netted per job: the first `from` and the last `to` survive.
     pub fn netted(&self) -> RequestOutcome {
         let mut order: Vec<JobId> = Vec::new();
-        let mut net: std::collections::HashMap<JobId, Move> =
-            std::collections::HashMap::new();
+        let mut net: std::collections::HashMap<JobId, Move> = std::collections::HashMap::new();
         for m in &self.moves {
             match net.get_mut(&m.job) {
                 None => {
@@ -218,7 +217,11 @@ impl CostMeter {
 
     /// Largest per-request reallocation cost.
     pub fn max_reallocations(&self) -> u64 {
-        self.samples.iter().map(|s| s.reallocations).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.reallocations)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-request migration cost.

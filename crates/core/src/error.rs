@@ -39,7 +39,10 @@ impl fmt::Display for Error {
             Error::DuplicateJob(id) => write!(f, "job {id} is already active"),
             Error::UnknownJob(id) => write!(f, "job {id} is not active"),
             Error::UnalignedWindow(w) => {
-                write!(f, "window {w} is not aligned (span power-of-two, start multiple of span)")
+                write!(
+                    f,
+                    "window {w} is not aligned (span power-of-two, start multiple of span)"
+                )
             }
             Error::CapacityExhausted { job, detail } => {
                 write!(f, "no capacity for job {job}: {detail}")

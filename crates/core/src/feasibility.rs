@@ -74,10 +74,7 @@ pub fn edf_schedule(jobs: &[Job], machines: usize) -> Option<ScheduleSnapshot> {
                         // The job's last admissible slot is deadline-1.
                         return None;
                     }
-                    snapshot.set(
-                        id_to_job[&id].id,
-                        Placement { machine, slot: t },
-                    );
+                    snapshot.set(id_to_job[&id].id, Placement { machine, slot: t });
                 }
             }
         }
@@ -170,7 +167,10 @@ pub fn aligned_density_max_gamma(windows: &[Window], machines: usize) -> u64 {
     // Count jobs per aligned window, then push counts up the laminar tree.
     let mut counts: HashMap<Window, u64> = HashMap::new();
     for w in windows {
-        debug_assert!(w.is_aligned(), "aligned_density_max_gamma needs aligned windows");
+        debug_assert!(
+            w.is_aligned(),
+            "aligned_density_max_gamma needs aligned windows"
+        );
         *counts.entry(*w).or_insert(0) += 1;
     }
     // Cumulative: for each distinct window walk the ancestor chain up to
@@ -220,8 +220,7 @@ mod tests {
 
     fn check_valid(js: &[Job], m: usize) {
         let snap = edf_schedule(js, m).expect("feasible");
-        let active: BTreeMap<JobId, Window> =
-            js.iter().map(|j| (j.id, j.window)).collect();
+        let active: BTreeMap<JobId, Window> = js.iter().map(|j| (j.id, j.window)).collect();
         validate(&snap, &active, m).expect("valid schedule");
     }
 

@@ -136,7 +136,11 @@ impl std::fmt::Display for ValidationError {
         match self {
             ValidationError::MissingJob(j) => write!(f, "active job {j} is unscheduled"),
             ValidationError::GhostJob(j) => write!(f, "scheduled job {j} is not active"),
-            ValidationError::OutOfWindow { job, placement, window } => write!(
+            ValidationError::OutOfWindow {
+                job,
+                placement,
+                window,
+            } => write!(
                 f,
                 "job {job} at machine {} slot {} outside window {window}",
                 placement.machine, placement.slot
@@ -222,7 +226,10 @@ mod tests {
     fn missing_job_detected() {
         let a = active(&[(1, Window::new(0, 4))]);
         let s = ScheduleSnapshot::new();
-        assert_eq!(validate(&s, &a, 1), Err(ValidationError::MissingJob(JobId(1))));
+        assert_eq!(
+            validate(&s, &a, 1),
+            Err(ValidationError::MissingJob(JobId(1)))
+        );
     }
 
     #[test]
@@ -230,7 +237,10 @@ mod tests {
         let a = active(&[]);
         let mut s = ScheduleSnapshot::new();
         s.set(JobId(5), p(0, 0));
-        assert_eq!(validate(&s, &a, 1), Err(ValidationError::GhostJob(JobId(5))));
+        assert_eq!(
+            validate(&s, &a, 1),
+            Err(ValidationError::GhostJob(JobId(5)))
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Tower {
         let mut prev = 1u64;
         for &t in &thresholds {
             assert!(t.is_power_of_two(), "threshold {t} not a power of two");
-            assert!(t >= 2 * prev, "thresholds must at least double: {prev} -> {t}");
+            assert!(
+                t >= 2 * prev,
+                "thresholds must at least double: {prev} -> {t}"
+            );
             prev = t;
         }
         Tower { thresholds }

@@ -207,8 +207,7 @@ mod tests {
         }
         for a in &windows {
             for b in &windows {
-                let laminar =
-                    !a.overlaps(b) || a.contains(b) || b.contains(a);
+                let laminar = !a.overlaps(b) || a.contains(b) || b.contains(a);
                 assert!(laminar, "{a:?} vs {b:?} not laminar");
             }
         }

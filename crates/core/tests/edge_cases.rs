@@ -80,7 +80,10 @@ fn tower_single_threshold() {
 fn outcome_netting_insert_then_delete_cancels() {
     // A job inserted and removed within one outcome nets to nothing
     // chargeable.
-    let p = Placement { machine: 0, slot: 3 };
+    let p = Placement {
+        machine: 0,
+        slot: 3,
+    };
     let mut o = RequestOutcome::empty();
     o.push(Move {
         job: JobId(1),

@@ -1,0 +1,162 @@
+//! Pluggable per-shard scheduler backends.
+//!
+//! A shard owns one full [`Reallocator`] — either a machine group driven
+//! through the §3/§5 wrapper ([`realloc_multi::ReallocatingScheduler`])
+//! over any single-machine scheduler, or a natively multi-machine
+//! baseline. [`BackendKind`] is the serializable selector (it also names
+//! backends on the `exp_engine_throughput` command line and inside
+//! journal headers); [`BackendKind::build`] instantiates the trait
+//! object.
+
+use realloc_baselines::{EdfRescheduler, LlfRescheduler, NaivePeckingScheduler};
+use realloc_core::Reallocator;
+use realloc_multi::{ReallocatingScheduler, TheoremOneScheduler};
+use realloc_reservation::{DeamortizedScheduler, ReservationScheduler};
+
+/// A shard backend: any reallocating scheduler that can cross threads.
+pub type BoxedBackend = Box<dyn Reallocator + Send>;
+
+/// Which scheduler a shard runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Raw §4 reservation scheduler per machine (no trimming):
+    /// `O(log* Δ)` reallocations per request.
+    Reservation,
+    /// The paper's Theorem 1 configuration: reservation + `n*` trimming,
+    /// `O(min{log* n, log* Δ})` per request.
+    TheoremOne {
+        /// Trim factor `γ`.
+        gamma: u64,
+    },
+    /// Deamortized trimming (worst-case bounded per-request work).
+    Deamortized {
+        /// Trim factor `γ`.
+        gamma: u64,
+    },
+    /// The Lemma 4 naive pecking-order baseline.
+    Naive,
+    /// Earliest-deadline-first full recompute (brittle baseline).
+    Edf,
+    /// Least-laxity-first full recompute (brittle baseline).
+    Llf,
+}
+
+impl BackendKind {
+    /// Instantiates the backend on `machines` machines.
+    pub fn build(&self, machines: usize) -> BoxedBackend {
+        match *self {
+            BackendKind::Reservation => Box::new(ReallocatingScheduler::from_factory(
+                machines,
+                ReservationScheduler::new,
+            )),
+            BackendKind::TheoremOne { gamma } => {
+                Box::new(TheoremOneScheduler::theorem_one(machines, gamma))
+            }
+            BackendKind::Deamortized { gamma } => {
+                Box::new(ReallocatingScheduler::from_factory(machines, || {
+                    DeamortizedScheduler::new(gamma)
+                }))
+            }
+            BackendKind::Naive => Box::new(ReallocatingScheduler::from_factory(
+                machines,
+                NaivePeckingScheduler::new,
+            )),
+            BackendKind::Edf => Box::new(EdfRescheduler::new(machines)),
+            BackendKind::Llf => Box::new(LlfRescheduler::new(machines)),
+        }
+    }
+
+    /// Parses the textual selector (inverse of [`std::fmt::Display`]):
+    /// `reservation`, `theorem1:γ`, `deamortized:γ`, `naive`, `edf`,
+    /// `llf`.
+    pub fn parse(s: &str) -> Result<BackendKind, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let gamma = |what: &str| -> Result<u64, String> {
+            let raw = arg.ok_or_else(|| format!("{what} needs ':gamma' (e.g. {what}:8)"))?;
+            raw.parse::<u64>()
+                .map_err(|e| format!("bad gamma '{raw}': {e}"))
+                .and_then(|g| {
+                    if g >= 1 {
+                        Ok(g)
+                    } else {
+                        Err("gamma must be >= 1".to_string())
+                    }
+                })
+        };
+        match name {
+            "reservation" => Ok(BackendKind::Reservation),
+            "theorem1" => Ok(BackendKind::TheoremOne {
+                gamma: gamma("theorem1")?,
+            }),
+            "deamortized" => Ok(BackendKind::Deamortized {
+                gamma: gamma("deamortized")?,
+            }),
+            "naive" => Ok(BackendKind::Naive),
+            "edf" => Ok(BackendKind::Edf),
+            "llf" => Ok(BackendKind::Llf),
+            other => Err(format!(
+                "unknown backend '{other}' (expected reservation, theorem1:g, \
+                 deamortized:g, naive, edf, llf)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BackendKind::Reservation => write!(f, "reservation"),
+            BackendKind::TheoremOne { gamma } => write!(f, "theorem1:{gamma}"),
+            BackendKind::Deamortized { gamma } => write!(f, "deamortized:{gamma}"),
+            BackendKind::Naive => write!(f, "naive"),
+            BackendKind::Edf => write!(f, "edf"),
+            BackendKind::Llf => write!(f, "llf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_core::{JobId, Window};
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in [
+            BackendKind::Reservation,
+            BackendKind::TheoremOne { gamma: 8 },
+            BackendKind::Deamortized { gamma: 4 },
+            BackendKind::Naive,
+            BackendKind::Edf,
+            BackendKind::Llf,
+        ] {
+            assert_eq!(BackendKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+        assert!(BackendKind::parse("theorem1").is_err());
+        assert!(BackendKind::parse("theorem1:0").is_err());
+        assert!(BackendKind::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn every_backend_schedules() {
+        for kind in [
+            BackendKind::Reservation,
+            BackendKind::TheoremOne { gamma: 8 },
+            BackendKind::Deamortized { gamma: 8 },
+            BackendKind::Naive,
+            BackendKind::Edf,
+            BackendKind::Llf,
+        ] {
+            let mut b = kind.build(2);
+            assert_eq!(b.machines(), 2);
+            b.insert(JobId(1), Window::new(0, 16)).unwrap();
+            b.insert(JobId(2), Window::new(0, 16)).unwrap();
+            assert_eq!(b.active_count(), 2, "{kind}");
+            b.delete(JobId(1)).unwrap();
+            assert_eq!(b.active_count(), 1, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Append-only event journal with deterministic replay.
+//!
+//! Every flushed request is recorded together with its (netted) cost
+//! outcome. The text encoding extends the `realloc_core::textio` framing
+//! — one event per line, `#` comments ignored — with a config header so
+//! a journal is self-contained:
+//!
+//! ```text
+//! # realloc-engine journal v1
+//! c 4 1 theorem1:8          # shards, machines/shard, backend
+//! b 0                       # batch boundary
+//! + 0 17 4 12 ok 1 0        # shard 0: insert j17 [4,12) → 1 realloc
+//! - 2 9 err capacity        # shard 2: delete j9 rejected
+//! ```
+//!
+//! [`Journal::replay`] rebuilds a fresh engine from the header, feeds the
+//! recorded requests through it batch by batch, and verifies that every
+//! outcome matches the recording — the determinism check behind crash
+//! recovery and shard migration (replaying a shard's stream reproduces
+//! its exact state).
+
+use crate::backend::BackendKind;
+use crate::{Engine, EngineConfig};
+use realloc_core::textio::ParseError;
+use realloc_core::{Error, JobId, Request, Window};
+
+/// Netted per-request costs, as recorded in the journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Costs {
+    /// Paper §2 reallocation cost of the request.
+    pub reallocations: u64,
+    /// Paper §2 migration cost of the request.
+    pub migrations: u64,
+}
+
+/// Stable error codes (scheduler error *details* are free-form strings
+/// and not replay-comparable; the code is).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Insert reused an active id.
+    Duplicate,
+    /// Delete of an inactive job.
+    Unknown,
+    /// Unaligned window hit an aligned-only backend.
+    Unaligned,
+    /// No capacity (underallocation precondition violated).
+    Capacity,
+    /// Request shape unsupported by the backend.
+    Unsupported,
+}
+
+impl ErrCode {
+    /// Classifies a scheduler error.
+    pub fn of(e: &Error) -> ErrCode {
+        match e {
+            Error::DuplicateJob(_) => ErrCode::Duplicate,
+            Error::UnknownJob(_) => ErrCode::Unknown,
+            Error::UnalignedWindow(_) => ErrCode::Unaligned,
+            Error::CapacityExhausted { .. } => ErrCode::Capacity,
+            Error::UnsupportedJob { .. } => ErrCode::Unsupported,
+        }
+    }
+
+    fn as_str(&self) -> &'static str {
+        match self {
+            ErrCode::Duplicate => "duplicate",
+            ErrCode::Unknown => "unknown",
+            ErrCode::Unaligned => "unaligned",
+            ErrCode::Capacity => "capacity",
+            ErrCode::Unsupported => "unsupported",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrCode> {
+        Some(match s {
+            "duplicate" => ErrCode::Duplicate,
+            "unknown" => ErrCode::Unknown,
+            "unaligned" => ErrCode::Unaligned,
+            "capacity" => ErrCode::Capacity,
+            "unsupported" => ErrCode::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Outcome of one journaled request.
+pub type ReqResult = Result<Costs, ErrCode>;
+
+/// One journaled request with its routing and outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Flush number the request was serviced in.
+    pub batch: u64,
+    /// Shard that serviced it.
+    pub shard: usize,
+    /// The request itself (internal, tenant-resolved job id).
+    pub request: Request,
+    /// What happened.
+    pub result: ReqResult,
+}
+
+/// Where a replay first diverged from the recording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    /// Index into [`Journal::events`].
+    pub index: usize,
+    /// The recorded event.
+    pub recorded: JournalEvent,
+    /// What the replay produced instead (`None`: replay produced no
+    /// event at this position).
+    pub replayed: Option<JournalEvent>,
+}
+
+impl std::fmt::Display for ReplayDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay diverged at event {}: recorded {:?}, replayed {:?}",
+            self.index, self.recorded, self.replayed
+        )
+    }
+}
+
+/// Append-only engine event log.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    config: EngineConfig,
+    events: Vec<JournalEvent>,
+}
+
+impl Journal {
+    /// Empty journal for an engine with `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        Journal {
+            config,
+            events: Vec::new(),
+        }
+    }
+
+    /// The engine configuration the journal was recorded under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// All recorded events, in service order.
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    /// Appends one event (called by the engine during flush).
+    pub fn append(&mut self, event: JournalEvent) {
+        self.events.push(event);
+    }
+
+    /// Serializes to the line format (see module docs).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.events.len() * 24 + 64);
+        out.push_str("# realloc-engine journal v1\n");
+        writeln!(
+            out,
+            "c {} {} {}",
+            self.config.shards, self.config.machines_per_shard, self.config.backend
+        )
+        .unwrap();
+        let mut batch = None;
+        for e in &self.events {
+            if batch != Some(e.batch) {
+                writeln!(out, "b {}", e.batch).unwrap();
+                batch = Some(e.batch);
+            }
+            match e.request {
+                Request::Insert { id, window } => write!(
+                    out,
+                    "+ {} {} {} {}",
+                    e.shard,
+                    id.0,
+                    window.start(),
+                    window.end()
+                )
+                .unwrap(),
+                Request::Delete { id } => write!(out, "- {} {}", e.shard, id.0).unwrap(),
+            }
+            match e.result {
+                Ok(c) => writeln!(out, " ok {} {}", c.reallocations, c.migrations).unwrap(),
+                Err(code) => writeln!(out, " err {code}").unwrap(),
+            }
+        }
+        out
+    }
+
+    /// Parses the line format back into a journal.
+    pub fn from_text(text: &str) -> Result<Journal, ParseError> {
+        let mut config: Option<EngineConfig> = None;
+        let mut events = Vec::new();
+        let mut batch = 0u64;
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let err = |message: String| ParseError { line, message };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let op = parts.next().expect("non-empty line has a token");
+            let num = |tok: Option<&str>, what: &str| -> Result<u64, ParseError> {
+                tok.ok_or_else(|| err(format!("missing {what}")))?
+                    .parse::<u64>()
+                    .map_err(|e| err(format!("bad {what}: {e}")))
+            };
+            match op {
+                "c" => {
+                    let shards = num(parts.next(), "shards")? as usize;
+                    let machines = num(parts.next(), "machines")? as usize;
+                    let backend_raw = parts
+                        .next()
+                        .ok_or_else(|| err("missing backend".to_string()))?;
+                    let backend = BackendKind::parse(backend_raw).map_err(&err)?;
+                    config = Some(EngineConfig {
+                        shards,
+                        machines_per_shard: machines,
+                        backend,
+                        ..EngineConfig::default()
+                    });
+                }
+                "b" => batch = num(parts.next(), "batch")?,
+                "+" | "-" => {
+                    let shard = num(parts.next(), "shard")? as usize;
+                    let id = JobId(num(parts.next(), "id")?);
+                    let request = if op == "+" {
+                        let start = num(parts.next(), "arrival")?;
+                        let end = num(parts.next(), "deadline")?;
+                        if end <= start {
+                            return Err(err(format!("deadline {end} must exceed arrival {start}")));
+                        }
+                        Request::Insert {
+                            id,
+                            window: Window::new(start, end),
+                        }
+                    } else {
+                        Request::Delete { id }
+                    };
+                    let tag = parts
+                        .next()
+                        .ok_or_else(|| err("missing outcome".to_string()))?;
+                    let result = match tag {
+                        "ok" => Ok(Costs {
+                            reallocations: num(parts.next(), "reallocations")?,
+                            migrations: num(parts.next(), "migrations")?,
+                        }),
+                        "err" => {
+                            let code_raw = parts
+                                .next()
+                                .ok_or_else(|| err("missing error code".to_string()))?;
+                            Err(ErrCode::parse(code_raw)
+                                .ok_or_else(|| err(format!("bad error code '{code_raw}'")))?)
+                        }
+                        other => return Err(err(format!("bad outcome tag '{other}'"))),
+                    };
+                    events.push(JournalEvent {
+                        batch,
+                        shard,
+                        request,
+                        result,
+                    });
+                }
+                other => return Err(err(format!("unknown op '{other}'"))),
+            }
+            if let Some(extra) = parts.next() {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected trailing token '{extra}'"),
+                });
+            }
+        }
+        let config = config.ok_or(ParseError {
+            line: 0,
+            message: "journal has no 'c' config header".to_string(),
+        })?;
+        Ok(Journal { config, events })
+    }
+
+    /// Replays the journal against a fresh engine and verifies every
+    /// recorded routing decision and outcome. Returns the engine (for
+    /// state recovery) on success, the first divergence otherwise.
+    pub fn replay(&self) -> Result<Engine, Box<ReplayDivergence>> {
+        let mut cfg = self.config.clone();
+        cfg.journal = true;
+        let mut engine = Engine::new(cfg);
+        let mut idx = 0usize;
+        while idx < self.events.len() {
+            let batch = self.events[idx].batch;
+            let mut end = idx;
+            while end < self.events.len() && self.events[end].batch == batch {
+                engine.submit(self.events[end].request);
+                end += 1;
+            }
+            engine.flush();
+            let replayed = engine.journal().expect("journal enabled").events();
+            for i in idx..end {
+                let got = replayed.get(i).copied();
+                // Batch numbering restarts from 0 in the fresh engine;
+                // compare everything else exactly.
+                let matches = got.is_some_and(|g| {
+                    g.shard == self.events[i].shard
+                        && g.request == self.events[i].request
+                        && g.result == self.events[i].result
+                });
+                if !matches {
+                    return Err(Box::new(ReplayDivergence {
+                        index: i,
+                        recorded: self.events[i],
+                        replayed: got,
+                    }));
+                }
+            }
+            idx = end;
+        }
+        Ok(engine)
+    }
+}

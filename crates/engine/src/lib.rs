@@ -1,0 +1,459 @@
+//! # realloc-engine
+//!
+//! A sharded, batched scheduling *service* over the SPAA'13 reallocation
+//! schedulers — the serving layer that turns the algorithm crates into a
+//! system:
+//!
+//! * **Sharding** — requests are routed across `S` independent shards by
+//!   a stable hash of the (tenant-resolved) job id ([`Engine::shard_of`]).
+//!   Each shard owns one full scheduler ([`backend`]): a machine group
+//!   driven through the §3/§5 wrapper, or a natively multi-machine
+//!   baseline. Shards share no state, so a flush drains them
+//!   concurrently with plain disjoint borrows ([`shard`]).
+//! * **Batching** — [`Engine::submit`] only enqueues (per-shard FIFO
+//!   queues); [`Engine::flush`] services everything queued and returns a
+//!   [`batch::BatchReport`]. Rejected requests are reported, never fatal:
+//!   a multi-tenant service keeps serving the rest of the stream.
+//! * **Multi-tenancy** — [`Engine::submit_for`] namespaces each tenant's
+//!   job ids into disjoint ranges of the global id space, so tenants
+//!   cannot collide (or address each other's jobs) as long as untrusted
+//!   callers are only ever handed `submit_for`; the raw [`Engine::submit`]
+//!   interface spans the whole id space and is for trusted embedders and
+//!   journal replay.
+//! * **Telemetry** — per-shard [`realloc_core::CostMeter`]s aggregate
+//!   into a [`metrics::Metrics`] snapshot: totals, per-request
+//!   reallocation-cost p50/p95/p99, and router balance.
+//! * **Journal** — an optional append-only event log
+//!   ([`journal::Journal`]) records every request and its netted outcome;
+//!   [`journal::Journal::replay`] deterministically rebuilds engine state
+//!   and verifies the recording (crash recovery, shard migration, audit).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use realloc_engine::{BackendKind, Engine, EngineConfig};
+//! use realloc_core::{JobId, Request, Window};
+//!
+//! let mut engine = Engine::new(EngineConfig {
+//!     shards: 4,
+//!     backend: BackendKind::TheoremOne { gamma: 8 },
+//!     ..EngineConfig::default()
+//! });
+//!
+//! for i in 0..64u64 {
+//!     engine.submit(Request::Insert {
+//!         id: JobId(i),
+//!         window: Window::new(0, 1 << 10),
+//!     });
+//! }
+//! let report = engine.flush();
+//! assert_eq!(report.processed(), 64);
+//! assert_eq!(engine.active_count(), 64);
+//!
+//! let m = engine.metrics();
+//! assert_eq!(m.requests, 64);
+//! assert!(m.shards.iter().all(|s| s.active_jobs > 0), "all shards used");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod batch;
+pub mod journal;
+pub mod metrics;
+pub mod shard;
+
+pub use backend::BackendKind;
+pub use batch::BatchReport;
+pub use journal::{Journal, JournalEvent, ReplayDivergence};
+pub use metrics::Metrics;
+
+use crate::journal::Costs;
+use crate::shard::{Shard, ShardDrain};
+use realloc_core::cost::Placement;
+use realloc_core::{Error, JobId, Request, RequestSeq};
+
+/// A tenant namespace. Each tenant's external job ids live in a disjoint
+/// slice of the global [`JobId`] space (see [`Engine::submit_for`]).
+///
+/// `TenantId(0)` is **reserved**: its slice coincides with the low ids of
+/// the direct [`Engine::submit`] space, so handing it to `submit_for`
+/// would let a "tenant" address direct submitters' jobs. `submit_for`
+/// rejects it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u16);
+
+/// Bits of the global job-id space reserved for the external id; the
+/// tenant id occupies the bits above.
+const TENANT_SHIFT: u32 = 48;
+
+/// Engine configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of independent shards (`>= 1`).
+    pub shards: usize,
+    /// Machines per shard backend.
+    pub machines_per_shard: usize,
+    /// Scheduler each shard runs.
+    pub backend: BackendKind,
+    /// Drain shards on worker threads during [`Engine::flush`]. Results
+    /// are identical either way (shards are independent); this only
+    /// trades thread spawn overhead against parallel drain time.
+    pub parallel: bool,
+    /// Record every serviced request into an in-memory [`Journal`].
+    pub journal: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            machines_per_shard: 1,
+            backend: BackendKind::TheoremOne { gamma: 8 },
+            parallel: false,
+            journal: false,
+        }
+    }
+}
+
+/// The sharded, batched scheduling service. See the crate docs.
+pub struct Engine {
+    cfg: EngineConfig,
+    shards: Vec<Shard>,
+    journal: Option<Journal>,
+    batches: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.cfg)
+            .field("batches", &self.batches)
+            .field("queued", &self.queued())
+            .field("active", &self.active_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine: `cfg.shards` shards, each running a fresh
+    /// `cfg.backend` on `cfg.machines_per_shard` machines.
+    pub fn new(cfg: EngineConfig) -> Self {
+        assert!(cfg.shards >= 1, "engine needs at least one shard");
+        assert!(
+            cfg.machines_per_shard >= 1,
+            "shards need at least one machine"
+        );
+        let shards = (0..cfg.shards)
+            .map(|i| Shard::new(i, cfg.backend, cfg.machines_per_shard))
+            .collect();
+        let journal = cfg.journal.then(|| Journal::new(cfg.clone()));
+        Engine {
+            cfg,
+            shards,
+            journal,
+            batches: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shard a job id routes to — a pure function of the id and the
+    /// shard count (FNV-1a over the id bytes), so routing is
+    /// deterministic, stable across engine instances, and maps a job's
+    /// delete to the shard that serviced its insert.
+    pub fn shard_of(&self, id: JobId) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in id.0.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Enqueues a request for the next flush, addressing the **raw
+    /// global id space** — including every tenant's slice.
+    ///
+    /// This is the privileged interface for trusted callers (embedders
+    /// driving a single id space, harnesses, and [`Journal::replay`],
+    /// which must restore tenant-namespaced ids verbatim). Code serving
+    /// untrusted tenants must go through [`Engine::submit_for`], which
+    /// confines each tenant to its own slice; handing tenants `submit`
+    /// would let them address each other's jobs.
+    pub fn submit(&mut self, request: Request) {
+        let shard = self.shard_of(request.job_id());
+        self.shards[shard].enqueue(request);
+    }
+
+    /// Enqueues every request of a sequence (raw id space; see
+    /// [`Engine::submit`]).
+    pub fn submit_seq(&mut self, seq: &RequestSeq) {
+        for &r in seq.requests() {
+            self.submit(r);
+        }
+    }
+
+    /// Enqueues a request on behalf of `tenant`, translating its external
+    /// job id into the tenant's slice of the global id space. Returns the
+    /// global id (for correlating journal entries and placements).
+    ///
+    /// Fails if `tenant` is the reserved [`TenantId`]`(0)` or the
+    /// external id does not fit the per-tenant id space (`2^48` ids per
+    /// tenant).
+    pub fn submit_for(&mut self, tenant: TenantId, request: Request) -> Result<JobId, Error> {
+        let external = request.job_id();
+        if tenant.0 == 0 {
+            return Err(Error::UnsupportedJob {
+                job: external,
+                detail: "TenantId(0) is reserved (it aliases the direct submit() id space)"
+                    .to_string(),
+            });
+        }
+        if external.0 >> TENANT_SHIFT != 0 {
+            return Err(Error::UnsupportedJob {
+                job: external,
+                detail: format!(
+                    "external id {} exceeds the {}-bit per-tenant id space",
+                    external.0, TENANT_SHIFT
+                ),
+            });
+        }
+        let global = JobId(((tenant.0 as u64) << TENANT_SHIFT) | external.0);
+        let namespaced = match request {
+            Request::Insert { window, .. } => Request::Insert { id: global, window },
+            Request::Delete { .. } => Request::Delete { id: global },
+        };
+        self.submit(namespaced);
+        Ok(global)
+    }
+
+    /// Requests queued across all shards, waiting for the next flush.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.queued()).sum()
+    }
+
+    /// Services every queued request. Shards drain concurrently when the
+    /// engine is configured `parallel`; each shard processes its own
+    /// queue in FIFO order either way, so results are identical.
+    pub fn flush(&mut self) -> BatchReport {
+        let drains: Vec<ShardDrain> = if self.cfg.parallel && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|sh| scope.spawn(move || sh.drain()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard drain panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards.iter_mut().map(|s| s.drain()).collect()
+        };
+        let batch = self.batches;
+        self.batches += 1;
+        if let Some(journal) = &mut self.journal {
+            for (shard, drain) in drains.iter().enumerate() {
+                for &(request, result) in &drain.records {
+                    journal.append(JournalEvent {
+                        batch,
+                        shard,
+                        request,
+                        result,
+                    });
+                }
+            }
+        }
+        BatchReport::from_drains(batch, &drains)
+    }
+
+    /// Submits a whole sequence in `batch_size`-request batches, flushing
+    /// between batches. Returns `(processed, failed)` totals.
+    pub fn ingest(&mut self, seq: &RequestSeq, batch_size: usize) -> (usize, usize) {
+        assert!(batch_size >= 1);
+        let (mut ok, mut failed) = (0usize, 0usize);
+        for chunk in seq.requests().chunks(batch_size) {
+            for &r in chunk {
+                self.submit(r);
+            }
+            let report = self.flush();
+            ok += report.processed();
+            failed += report.failed();
+        }
+        (ok, failed)
+    }
+
+    /// Jobs currently scheduled, across all shards.
+    pub fn active_count(&self) -> usize {
+        self.shards.iter().map(|s| s.active_count()).sum()
+    }
+
+    /// Completed flushes.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Point-in-time telemetry snapshot.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::collect(&self.shards)
+    }
+
+    /// The journal, when enabled in the config.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Every active job's `(shard, machine, slot)` placement, sorted by
+    /// job id — the global schedule view used by equivalence tests and
+    /// debugging tools.
+    pub fn placements(&self) -> Vec<(JobId, usize, Placement)> {
+        let mut out: Vec<(JobId, usize, Placement)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.snapshot()
+                    .iter()
+                    .map(|(id, p)| (id, s.id(), p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|&(id, _, _)| id);
+        out
+    }
+
+    /// Total netted costs serviced across shards (journal-free view of
+    /// the headline numbers).
+    pub fn total_costs(&self) -> Costs {
+        Costs {
+            reallocations: self.shards.iter().map(|s| s.total_reallocations()).sum(),
+            migrations: self.shards.iter().map(|s| s.total_migrations()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_core::Window;
+
+    fn engine(shards: usize, parallel: bool) -> Engine {
+        Engine::new(EngineConfig {
+            shards,
+            parallel,
+            journal: true,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_routes_deletes_to_the_inserting_shard() {
+        let mut e = engine(8, false);
+        for i in 0..200u64 {
+            e.submit(Request::Insert {
+                id: JobId(i),
+                window: Window::new(0, 1 << 12),
+            });
+        }
+        assert_eq!(e.queued(), 200);
+        let report = e.flush();
+        assert_eq!(report.processed(), 200);
+        assert_eq!(report.failed(), 0);
+        for i in 0..200u64 {
+            e.submit(Request::Delete { id: JobId(i) });
+        }
+        let report = e.flush();
+        assert_eq!(report.processed(), 200, "failures: {:?}", report.failures);
+        assert_eq!(e.active_count(), 0);
+    }
+
+    #[test]
+    fn tenants_are_namespaced() {
+        let mut e = engine(4, false);
+        let w = Window::new(0, 64);
+        let a = e
+            .submit_for(
+                TenantId(1),
+                Request::Insert {
+                    id: JobId(7),
+                    window: w,
+                },
+            )
+            .unwrap();
+        let b = e
+            .submit_for(
+                TenantId(2),
+                Request::Insert {
+                    id: JobId(7),
+                    window: w,
+                },
+            )
+            .unwrap();
+        assert_ne!(a, b, "same external id, different tenants");
+        let report = e.flush();
+        assert_eq!(report.processed(), 2);
+        assert_eq!(e.active_count(), 2);
+        // Oversized external ids are rejected up front.
+        let big = JobId(1 << TENANT_SHIFT);
+        assert!(e
+            .submit_for(TenantId(1), Request::Delete { id: big })
+            .is_err());
+        // The reserved tenant 0 (aliasing the direct submit() space) too.
+        assert!(e
+            .submit_for(TenantId(0), Request::Delete { id: JobId(7) })
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_flush_matches_sequential() {
+        let build = |parallel| {
+            let mut e = engine(6, parallel);
+            for i in 0..300u64 {
+                e.submit(Request::Insert {
+                    id: JobId(i),
+                    window: Window::new((i % 4) * 256, (i % 4) * 256 + 256),
+                });
+            }
+            e.flush();
+            for i in (0..300u64).step_by(3) {
+                e.submit(Request::Delete { id: JobId(i) });
+            }
+            e.flush();
+            e
+        };
+        let seq = build(false);
+        let par = build(true);
+        assert_eq!(seq.placements(), par.placements());
+        assert_eq!(seq.total_costs(), par.total_costs());
+        assert_eq!(
+            seq.journal().unwrap().events(),
+            par.journal().unwrap().events()
+        );
+    }
+
+    #[test]
+    fn metrics_aggregate_shard_rows() {
+        let mut e = engine(4, false);
+        for i in 0..128u64 {
+            e.submit(Request::Insert {
+                id: JobId(i),
+                window: Window::new(0, 1 << 10),
+            });
+        }
+        e.flush();
+        let m = e.metrics();
+        assert_eq!(m.requests, 128);
+        assert_eq!(m.active_jobs, 128);
+        assert_eq!(m.shards.len(), 4);
+        assert_eq!(m.shards.iter().map(|s| s.requests).sum::<u64>(), 128);
+        assert!(
+            m.imbalance() < 2.0,
+            "router is badly skewed: {}",
+            m.imbalance()
+        );
+    }
+}

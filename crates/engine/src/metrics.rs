@@ -1,0 +1,261 @@
+//! Telemetry aggregation: per-shard statistics → one engine snapshot.
+//!
+//! Telemetry must be O(1) per request and O(1) per shard in memory — a
+//! serving engine cannot retain per-request samples forever. Per-request
+//! reallocation costs therefore feed a fixed-size [`CostHistogram`]
+//! (costs are `O(min{log* n, log* Δ})` by Theorem 1, so the direct
+//! buckets cover every real stream; pathological costs land in an
+//! overflow bucket and percentile queries above it return the recorded
+//! maximum).
+
+use crate::shard::Shard;
+
+/// Direct buckets of [`CostHistogram`]: exact counts for costs
+/// `0..DIRECT_BUCKETS`, one overflow bucket above.
+const DIRECT_BUCKETS: usize = 65;
+
+/// Fixed-size exact histogram of per-request reallocation costs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostHistogram {
+    buckets: [u64; DIRECT_BUCKETS],
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for CostHistogram {
+    fn default() -> Self {
+        CostHistogram {
+            buckets: [0; DIRECT_BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl CostHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's cost. O(1).
+    pub fn record(&mut self, cost: u64) {
+        match self.buckets.get_mut(cost as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += cost;
+        self.max = self.max.max(cost);
+    }
+
+    /// Requests recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean cost per request.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded cost.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-quantile (`0.0..=1.0`), matching
+    /// `sorted[round((count-1) * p)]` on the full sample list — exact
+    /// for costs below the overflow bucket, the recorded max above it.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * p).round() as u64;
+        let mut seen = 0u64;
+        for (cost, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return cost as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (engine-wide union).
+    pub fn merge(&mut self, other: &CostHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Cost-distribution summary of per-request reallocation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostPercentiles {
+    /// Mean reallocations per request.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl CostPercentiles {
+    fn of(hist: &CostHistogram) -> CostPercentiles {
+        CostPercentiles {
+            mean: hist.mean(),
+            p50: hist.percentile(0.50),
+            p95: hist.percentile(0.95),
+            p99: hist.percentile(0.99),
+            max: hist.max(),
+        }
+    }
+}
+
+/// One shard's slice of a [`Metrics`] snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests serviced successfully.
+    pub requests: u64,
+    /// Requests rejected by the backend.
+    pub failed: u64,
+    /// Jobs currently active on the shard.
+    pub active_jobs: u64,
+    /// Total reallocations since construction.
+    pub reallocations: u64,
+    /// Total cross-machine migrations since construction.
+    pub migrations: u64,
+    /// Distribution of per-request reallocation cost.
+    pub cost: CostPercentiles,
+}
+
+/// Point-in-time telemetry for the whole engine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Per-shard rows, indexed by shard id.
+    pub shards: Vec<ShardMetrics>,
+    /// Sum of per-shard serviced requests.
+    pub requests: u64,
+    /// Sum of per-shard rejections.
+    pub failed: u64,
+    /// Total active jobs.
+    pub active_jobs: u64,
+    /// Total reallocations.
+    pub reallocations: u64,
+    /// Total migrations.
+    pub migrations: u64,
+    /// Engine-wide per-request cost distribution (merged shard
+    /// histograms, not an average of averages).
+    pub cost: CostPercentiles,
+}
+
+impl Metrics {
+    /// Builds a snapshot from the engine's shards.
+    pub(crate) fn collect(shards: &[Shard]) -> Metrics {
+        let rows: Vec<ShardMetrics> = shards
+            .iter()
+            .map(|s| ShardMetrics {
+                shard: s.id(),
+                requests: s.requests(),
+                failed: s.failed_count(),
+                active_jobs: s.active_count() as u64,
+                reallocations: s.total_reallocations(),
+                migrations: s.total_migrations(),
+                cost: CostPercentiles::of(s.cost_histogram()),
+            })
+            .collect();
+        let mut union = CostHistogram::new();
+        for s in shards {
+            union.merge(s.cost_histogram());
+        }
+        Metrics {
+            requests: rows.iter().map(|r| r.requests).sum(),
+            failed: rows.iter().map(|r| r.failed).sum(),
+            active_jobs: rows.iter().map(|r| r.active_jobs).sum(),
+            reallocations: rows.iter().map(|r| r.reallocations).sum(),
+            migrations: rows.iter().map(|r| r.migrations).sum(),
+            cost: CostPercentiles::of(&union),
+            shards: rows,
+        }
+    }
+
+    /// Largest per-shard active-set imbalance, as a ratio of the mean
+    /// (1.0 = perfectly balanced). Gauges the router's spread.
+    pub fn imbalance(&self) -> f64 {
+        if self.shards.is_empty() || self.active_jobs == 0 {
+            return 1.0;
+        }
+        let mean = self.active_jobs as f64 / self.shards.len() as f64;
+        let max = self.shards.iter().map(|s| s.active_jobs).max().unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_matches_sorted_sample_percentiles() {
+        let mut h = CostHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v % 7);
+        }
+        let mut sorted: Vec<u64> = (1..=100u64).map(|v| v % 7).collect();
+        sorted.sort_unstable();
+        let pct = |p: f64| sorted[((sorted.len() as f64 - 1.0) * p).round() as usize];
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), pct(p), "p = {p}");
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 6);
+        let mean: f64 = sorted.iter().sum::<u64>() as f64 / 100.0;
+        assert!((h.mean() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_reports_max() {
+        let mut h = CostHistogram::new();
+        h.record(0);
+        h.record(1_000); // overflow bucket
+        assert_eq!(h.percentile(1.0), 1_000);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.max(), 1_000);
+    }
+
+    #[test]
+    fn histogram_merge_is_union() {
+        let mut a = CostHistogram::new();
+        let mut b = CostHistogram::new();
+        for v in [0u64, 1, 1, 2] {
+            a.record(v);
+        }
+        for v in [3u64, 3, 4] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.percentile(0.5), 2);
+        assert_eq!(a.max(), 4);
+        assert_eq!(CostHistogram::new(), CostHistogram::default());
+    }
+}

@@ -1,0 +1,236 @@
+//! A single engine shard: one backend, one ingress queue, one stats block.
+//!
+//! Shards are fully independent — no shared mutable state — so a batch
+//! flush can drain all of them concurrently with plain disjoint
+//! `&mut Shard` borrows (see [`crate::Engine::flush`]). The queue is a
+//! single-producer (the router) / single-consumer (the drain)
+//! [`VecDeque`]; the design deliberately keeps each request's entire
+//! lifetime on one shard so a lock-free MPSC ring can replace the queue
+//! without touching scheduling logic. Telemetry is O(1) per request and
+//! O(1) memory (see [`crate::metrics`]).
+
+use crate::backend::{BackendKind, BoxedBackend};
+use crate::journal::{Costs, ErrCode, ReqResult};
+use crate::metrics::CostHistogram;
+use realloc_core::{JobId, Request, Window};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One independent scheduling shard.
+pub struct Shard {
+    id: usize,
+    backend: BoxedBackend,
+    queue: VecDeque<Request>,
+    /// Active jobs with their original windows (tenant-resolved ids).
+    active: BTreeMap<JobId, Window>,
+    /// Per-request reallocation-cost distribution (bounded memory).
+    hist: CostHistogram,
+    requests: u64,
+    reallocations: u64,
+    migrations: u64,
+    failed: u64,
+}
+
+/// Everything one shard did during a single flush, in execution order.
+#[derive(Clone, Debug, Default)]
+pub struct ShardDrain {
+    /// Per-request `(request, result)` records.
+    pub records: Vec<(Request, ReqResult)>,
+}
+
+impl ShardDrain {
+    /// Requests that were serviced successfully.
+    pub fn processed(&self) -> usize {
+        self.records.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Requests the backend rejected.
+    pub fn failed(&self) -> usize {
+        self.records.len() - self.processed()
+    }
+
+    /// Total reallocations across the drain.
+    pub fn reallocations(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .map(|c| c.reallocations)
+            .sum()
+    }
+
+    /// Total migrations across the drain.
+    pub fn migrations(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .map(|c| c.migrations)
+            .sum()
+    }
+}
+
+impl Shard {
+    /// New shard `id` running `kind` on `machines` machines.
+    pub fn new(id: usize, kind: BackendKind, machines: usize) -> Self {
+        Shard {
+            id,
+            backend: kind.build(machines),
+            queue: VecDeque::new(),
+            active: BTreeMap::new(),
+            hist: CostHistogram::new(),
+            requests: 0,
+            reallocations: 0,
+            migrations: 0,
+            failed: 0,
+        }
+    }
+
+    /// Shard index within the engine.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Enqueues a request for the next flush.
+    pub fn enqueue(&mut self, r: Request) {
+        self.queue.push_back(r);
+    }
+
+    /// Requests waiting for the next flush.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently scheduled on this shard.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Requests this shard serviced successfully so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests this shard's backend rejected so far.
+    pub fn failed_count(&self) -> u64 {
+        self.failed
+    }
+
+    /// Total reallocations since construction.
+    pub fn total_reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Total cross-machine migrations since construction.
+    pub fn total_migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Per-request reallocation-cost distribution.
+    pub fn cost_histogram(&self) -> &CostHistogram {
+        &self.hist
+    }
+
+    /// Largest active window span on this shard (the paper's `Δ`,
+    /// shard-local). Computed on demand from the active set.
+    pub fn current_max_span(&self) -> u64 {
+        self.active.values().map(|w| w.span()).max().unwrap_or(0)
+    }
+
+    /// The backend's current `(job, machine, slot)` assignments.
+    pub fn snapshot(&self) -> realloc_core::ScheduleSnapshot {
+        self.backend.snapshot()
+    }
+
+    /// Original window of an active job.
+    pub fn window_of(&self, id: JobId) -> Option<Window> {
+        self.active.get(&id).copied()
+    }
+
+    /// Services every queued request in FIFO order.
+    ///
+    /// Failures are recorded and skipped — a multi-tenant service must
+    /// keep serving the remaining stream when one request is rejected
+    /// (the caller sees each failure in the returned records and in
+    /// [`Shard::failed_count`]).
+    pub fn drain(&mut self) -> ShardDrain {
+        let mut out = ShardDrain::default();
+        while let Some(req) = self.queue.pop_front() {
+            let result = match self.backend.request(req) {
+                Ok(outcome) => {
+                    self.apply_bookkeeping(req);
+                    let netted = outcome.netted();
+                    let costs = Costs {
+                        reallocations: netted.reallocation_cost(),
+                        migrations: netted.migration_cost(),
+                    };
+                    self.requests += 1;
+                    self.reallocations += costs.reallocations;
+                    self.migrations += costs.migrations;
+                    self.hist.record(costs.reallocations);
+                    Ok(costs)
+                }
+                Err(e) => {
+                    self.failed += 1;
+                    Err(ErrCode::of(&e))
+                }
+            };
+            out.records.push((req, result));
+        }
+        out
+    }
+
+    fn apply_bookkeeping(&mut self, req: Request) {
+        match req {
+            Request::Insert { id, window } => {
+                self.active.insert(id, window);
+            }
+            Request::Delete { id } => {
+                self.active.remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_services_fifo_and_records_failures() {
+        let mut s = Shard::new(0, BackendKind::Reservation, 1);
+        s.enqueue(Request::Insert {
+            id: JobId(1),
+            window: Window::new(0, 8),
+        });
+        s.enqueue(Request::Insert {
+            id: JobId(1), // duplicate: rejected
+            window: Window::new(0, 8),
+        });
+        s.enqueue(Request::Delete { id: JobId(1) });
+        let drain = s.drain();
+        assert_eq!(drain.records.len(), 3);
+        assert_eq!(drain.processed(), 2);
+        assert_eq!(drain.failed(), 1);
+        assert_eq!(s.failed_count(), 1);
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.queued(), 0);
+        assert_eq!(s.cost_histogram().count(), 2);
+    }
+
+    #[test]
+    fn max_span_tracks_the_active_set() {
+        let mut s = Shard::new(3, BackendKind::Reservation, 1);
+        for (i, span) in [8u64, 64, 64].iter().enumerate() {
+            s.enqueue(Request::Insert {
+                id: JobId(i as u64),
+                window: Window::with_span(0, *span),
+            });
+        }
+        s.drain();
+        assert_eq!(s.current_max_span(), 64);
+        s.enqueue(Request::Delete { id: JobId(1) });
+        s.enqueue(Request::Delete { id: JobId(2) });
+        s.drain();
+        assert_eq!(s.current_max_span(), 8);
+        assert_eq!(s.window_of(JobId(0)), Some(Window::with_span(0, 8)));
+    }
+}

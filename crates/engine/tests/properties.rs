@@ -1,0 +1,270 @@
+//! Engine-level properties: routing determinism/stability, single-shard
+//! equivalence with the bare §4 scheduler, journal round-trip + replay,
+//! and parallel/sequential flush agreement — all over churn workloads
+//! generated with the Lemma 2 density guarantee.
+
+use proptest::prelude::*;
+use realloc_core::{JobId, Request, RequestSeq, SingleMachineReallocator, Window};
+use realloc_engine::{BackendKind, Engine, EngineConfig, Journal, TenantId};
+use realloc_reservation::ReservationScheduler;
+use realloc_workloads::{ChurnConfig, ChurnGenerator};
+
+fn config(shards: usize, backend: BackendKind) -> EngineConfig {
+    EngineConfig {
+        shards,
+        machines_per_shard: 1,
+        backend,
+        parallel: false,
+        journal: true,
+    }
+}
+
+/// Aligned single-machine churn at γ = 8 — accepted verbatim by the bare
+/// reservation scheduler, so engine and scheduler see identical streams.
+fn aligned_churn(seed: u64, len: usize) -> RequestSeq {
+    let mut gen = ChurnGenerator::new(
+        ChurnConfig {
+            machines: 1,
+            gamma: 8,
+            horizon: 1 << 12,
+            spans: vec![1, 4, 16, 64, 256],
+            target_active: 96,
+            insert_bias: 0.6,
+            unaligned: false,
+        },
+        seed,
+    );
+    gen.generate(len)
+}
+
+/// Multi-shard churn: the density budget is provisioned for `shards`
+/// single-machine backends.
+fn sharded_churn(seed: u64, shards: usize, len: usize) -> RequestSeq {
+    let mut gen = ChurnGenerator::new(
+        ChurnConfig {
+            machines: shards,
+            gamma: 8,
+            horizon: 1 << 12,
+            spans: vec![1, 4, 16, 64],
+            target_active: 48 * shards,
+            insert_bias: 0.6,
+            unaligned: false,
+        },
+        seed,
+    );
+    gen.generate(len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---------------- routing ----------------
+
+    #[test]
+    fn routing_is_deterministic_and_stable(
+        ids in prop::collection::vec(0u64..1_000_000, 1..200),
+        shards in 1usize..16,
+    ) {
+        let a = Engine::new(config(shards, BackendKind::Reservation));
+        let mut b = Engine::new(config(shards, BackendKind::Reservation));
+        // Give engine b a history before querying: routing must not
+        // depend on traffic, only on the id and the shard count.
+        for i in 0..50u64 {
+            b.submit(Request::Insert {
+                id: JobId(2_000_000 + i),
+                window: Window::new(0, 1 << 10),
+            });
+        }
+        b.flush();
+        for &id in &ids {
+            let shard = a.shard_of(JobId(id));
+            prop_assert!(shard < shards);
+            prop_assert_eq!(shard, b.shard_of(JobId(id)), "routing drifted");
+            // Stable under repeated queries.
+            prop_assert_eq!(shard, a.shard_of(JobId(id)));
+        }
+    }
+
+    // ---------------- single-shard equivalence ----------------
+
+    #[test]
+    fn single_shard_engine_matches_bare_reservation(seed in 0u64..500) {
+        let seq = aligned_churn(seed, 400);
+
+        let mut engine = Engine::new(config(1, BackendKind::Reservation));
+        let (ok, failed) = engine.ingest(&seq, 64);
+        prop_assert_eq!(failed, 0, "density-certified stream rejected");
+        prop_assert_eq!(ok, seq.len());
+
+        let mut bare = ReservationScheduler::new();
+        let mut bare_reallocs = 0u64;
+        for &r in seq.requests() {
+            let moves = match r {
+                Request::Insert { id, window } => bare.insert(id, window).unwrap(),
+                Request::Delete { id } => bare.delete(id).unwrap(),
+            };
+            // Net per request, as the engine's meter does.
+            let outcome = realloc_core::RequestOutcome {
+                moves: moves.iter().map(|m| m.on_machine(0)).collect(),
+            };
+            bare_reallocs += outcome.netted().reallocation_cost();
+        }
+
+        // Identical placements…
+        let engine_placements: Vec<(JobId, u64)> = engine
+            .placements()
+            .into_iter()
+            .map(|(id, shard, p)| {
+                assert_eq!(shard, 0);
+                assert_eq!(p.machine, 0);
+                (id, p.slot)
+            })
+            .collect();
+        let mut bare_placements: Vec<(JobId, u64)> = bare.assignments();
+        bare_placements.sort_by_key(|&(id, _)| id);
+        prop_assert_eq!(engine_placements, bare_placements);
+
+        // …and identical total reallocation cost.
+        prop_assert_eq!(engine.total_costs().reallocations, bare_reallocs);
+    }
+
+    // ---------------- sharded conservation + parallel agreement ----------------
+
+    #[test]
+    fn sharded_engine_conserves_and_parallel_agrees(
+        seed in 0u64..300,
+        shards in 2usize..9,
+    ) {
+        let seq = sharded_churn(seed, shards, 600);
+        let inserts = seq.iter().filter(|r| r.is_insert()).count();
+        let deletes = seq.len() - inserts;
+
+        let run = |parallel: bool| {
+            let mut cfg = config(shards, BackendKind::Reservation);
+            cfg.parallel = parallel;
+            let mut e = Engine::new(cfg);
+            let (ok, failed) = e.ingest(&seq, 128);
+            (e, ok, failed)
+        };
+        let (seq_engine, ok, failed) = run(false);
+        prop_assert_eq!(failed, 0, "density-certified stream rejected");
+        prop_assert_eq!(ok, seq.len());
+        prop_assert_eq!(seq_engine.active_count(), inserts - deletes);
+
+        let m = seq_engine.metrics();
+        prop_assert_eq!(m.requests, seq.len() as u64);
+        prop_assert_eq!(
+            m.shards.iter().map(|s| s.active_jobs).sum::<u64>(),
+            (inserts - deletes) as u64
+        );
+
+        let (par_engine, par_ok, par_failed) = run(true);
+        prop_assert_eq!((par_ok, par_failed), (ok, failed));
+        prop_assert_eq!(par_engine.placements(), seq_engine.placements());
+        prop_assert_eq!(
+            par_engine.journal().unwrap().events(),
+            seq_engine.journal().unwrap().events()
+        );
+    }
+
+    // ---------------- journal ----------------
+
+    #[test]
+    fn journal_text_round_trips_and_replays(seed in 0u64..300) {
+        let seq = sharded_churn(seed, 4, 400);
+        let mut engine = Engine::new(config(4, BackendKind::TheoremOne { gamma: 8 }));
+        engine.ingest(&seq, 64);
+
+        let journal = engine.journal().unwrap();
+        prop_assert_eq!(journal.events().len(), seq.len());
+
+        // Text round trip preserves config and every event.
+        let text = journal.to_text();
+        let parsed = Journal::from_text(&text).unwrap();
+        prop_assert_eq!(parsed.config().shards, 4);
+        prop_assert_eq!(parsed.config().backend, BackendKind::TheoremOne { gamma: 8 });
+        prop_assert_eq!(parsed.events(), journal.events());
+
+        // Deterministic replay reproduces outcomes and final state.
+        let replayed = parsed.replay().unwrap();
+        prop_assert_eq!(replayed.placements(), engine.placements());
+        prop_assert_eq!(replayed.total_costs(), engine.total_costs());
+    }
+}
+
+#[test]
+fn journal_records_failures_and_replay_detects_tampering() {
+    let mut engine = Engine::new(config(2, BackendKind::Reservation));
+    engine.submit(Request::Insert {
+        id: JobId(1),
+        window: Window::new(0, 8),
+    });
+    engine.submit(Request::Insert {
+        id: JobId(1), // duplicate → rejected, but journaled
+        window: Window::new(0, 8),
+    });
+    engine.flush();
+    let text = engine.journal().unwrap().to_text();
+    assert!(text.contains("err duplicate"), "journal: {text}");
+    assert!(Journal::from_text(&text).unwrap().replay().is_ok());
+
+    // Flip the recorded cost of the first insert: replay must diverge.
+    let tampered = text.replace("ok 0 0", "ok 7 0");
+    let divergence = Journal::from_text(&tampered)
+        .unwrap()
+        .replay()
+        .expect_err("tampered journal must not replay cleanly");
+    assert_eq!(divergence.index, 0);
+}
+
+#[test]
+fn tenants_share_the_engine_without_collisions() {
+    let mut engine = Engine::new(config(4, BackendKind::TheoremOne { gamma: 8 }));
+    let mut feed = realloc_workloads::TenantFeed::new(
+        (0u16..3)
+            .map(|t| {
+                (
+                    t + 1,
+                    ChurnGenerator::new(
+                        ChurnConfig {
+                            machines: 2,
+                            gamma: 8,
+                            horizon: 1 << 10,
+                            spans: vec![1, 4, 16],
+                            target_active: 32,
+                            insert_bias: 0.6,
+                            unaligned: false,
+                        },
+                        t as u64,
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let mut submitted = 0usize;
+    while let Some(batch) = feed.next_batch(16) {
+        for (tenant, request) in &batch {
+            engine.submit_for(TenantId(*tenant), *request).unwrap();
+        }
+        submitted += batch.len();
+        engine.flush();
+        if submitted >= 600 {
+            break;
+        }
+    }
+    let m = engine.metrics();
+    assert_eq!(m.requests + m.failed, submitted as u64);
+    assert_eq!(
+        m.failed, 0,
+        "tenant streams are density-certified per tenant"
+    );
+    // All three tenants' jobs are live simultaneously in disjoint id slices.
+    let mut tenants_seen: Vec<u64> = engine
+        .placements()
+        .iter()
+        .map(|(id, _, _)| id.0 >> 48)
+        .collect();
+    tenants_seen.sort_unstable();
+    tenants_seen.dedup();
+    assert_eq!(tenants_seen, vec![1, 2, 3]);
+}

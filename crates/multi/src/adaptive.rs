@@ -100,8 +100,7 @@ where
         target: &mut T,
         extra: Option<(JobId, Window)>,
     ) -> Option<()> {
-        let mut jobs: Vec<(JobId, Window)> =
-            self.windows.iter().map(|(&id, &w)| (id, w)).collect();
+        let mut jobs: Vec<(JobId, Window)> = self.windows.iter().map(|(&id, &w)| (id, w)).collect();
         jobs.extend(extra);
         jobs.sort_by_key(|&(id, w)| (w.span(), w.start(), id));
         for &(id, w) in &jobs {
@@ -190,8 +189,7 @@ where
                     self.degraded = Some(fresh);
                     self.windows.insert(id, window);
                     self.degradations += 1;
-                    self.recover_below =
-                        (self.windows.len() as f64 * RECOVER_FRACTION) as usize;
+                    self.recover_below = (self.windows.len() as f64 * RECOVER_FRACTION) as usize;
                     return Ok(moves);
                 }
                 Err(e) => return Err(e),
@@ -316,7 +314,8 @@ mod tests {
     fn fast_mode_untouched_under_slack() {
         let mut s = adaptive();
         for i in 0..32u64 {
-            s.insert(JobId(i), Window::with_span((i % 8) * 256, 256)).unwrap();
+            s.insert(JobId(i), Window::with_span((i % 8) * 256, 256))
+                .unwrap();
         }
         assert_eq!(s.mode(), Mode::Fast);
         assert_eq!(s.degradations(), 0);

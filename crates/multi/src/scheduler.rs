@@ -2,8 +2,8 @@
 
 use realloc_core::cost::Placement;
 use realloc_core::{
-    Error, JobId, Move, Reallocator, RequestOutcome, ScheduleSnapshot,
-    SingleMachineReallocator, Window,
+    Error, JobId, Move, Reallocator, RequestOutcome, ScheduleSnapshot, SingleMachineReallocator,
+    Window,
 };
 use realloc_reservation::TrimmedScheduler;
 use std::collections::{HashMap, HashSet};
@@ -65,7 +65,11 @@ pub type TheoremOneScheduler = ReallocatingScheduler<TrimmedScheduler>;
 impl TheoremOneScheduler {
     /// Theorem-1 scheduler on `machines` machines with trim factor `gamma`.
     pub fn theorem_one(machines: usize, gamma: u64) -> Self {
-        Self::with_backends((0..machines).map(|_| TrimmedScheduler::new(gamma)).collect())
+        Self::with_backends(
+            (0..machines)
+                .map(|_| TrimmedScheduler::new(gamma))
+                .collect(),
+        )
     }
 }
 
@@ -131,7 +135,10 @@ impl<B: SingleMachineReallocator> Reallocator for ReallocatingScheduler<B> {
             },
         );
         Ok(RequestOutcome {
-            moves: slot_moves.into_iter().map(|sm| sm.on_machine(machine)).collect(),
+            moves: slot_moves
+                .into_iter()
+                .map(|sm| sm.on_machine(machine))
+                .collect(),
         })
     }
 
@@ -314,7 +321,8 @@ mod tests {
     fn theorem_one_constructor() {
         let mut s = TheoremOneScheduler::theorem_one(2, 4);
         for i in 0..10u64 {
-            s.insert(JobId(i), Window::new(i * 8 + 1, i * 8 + 8)).unwrap();
+            s.insert(JobId(i), Window::new(i * 8 + 1, i * 8 + 8))
+                .unwrap();
         }
         assert_eq!(s.active_count(), 10);
         validate_now(&s);

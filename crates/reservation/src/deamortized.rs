@@ -116,7 +116,12 @@ impl DeamortizedScheduler {
             .collect()
     }
 
-    fn insert_into(&mut self, gen: usize, id: JobId, window: Window) -> Result<Vec<SlotMove>, Error> {
+    fn insert_into(
+        &mut self,
+        gen: usize,
+        id: JobId,
+        window: Window,
+    ) -> Result<Vec<SlotMove>, Error> {
         let trimmed = window.trim_to(self.trim_span());
         let moves = self.gens[gen].insert(id, Self::half_window(trimmed))?;
         self.jobs.insert(id, (window, gen));
@@ -238,8 +243,7 @@ mod tests {
         // All jobs in the active generation share its parity.
         let slots: Vec<Slot> = s.assignments().iter().map(|&(_, t)| t).collect();
         assert!(slots.iter().all(|&t| t < 64));
-        let parities: std::collections::HashSet<u64> =
-            slots.iter().map(|t| t % 2).collect();
+        let parities: std::collections::HashSet<u64> = slots.iter().map(|t| t % 2).collect();
         assert_eq!(parities.len(), 1, "no flip yet: single parity");
     }
 
@@ -268,7 +272,8 @@ mod tests {
         // Keep churning until the drain finishes.
         let mut i = 101u64;
         while s.draining_len() > 0 {
-            s.insert(JobId(i), Window::with_span((i % 16) * 64, 64)).unwrap();
+            s.insert(JobId(i), Window::with_span((i % 16) * 64, 64))
+                .unwrap();
             i += 1;
         }
         // Everyone still feasibly scheduled within their window.

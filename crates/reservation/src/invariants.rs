@@ -214,7 +214,9 @@ impl ReservationScheduler {
                 let mut assigned_slots: HashSet<u64> = HashSet::new();
                 let mut total_assigned = 0u64;
                 for (w, quota) in quotas {
-                    let Some(ws) = lvl.windows.get(&w) else { continue };
+                    let Some(ws) = lvl.windows.get(&w) else {
+                        continue;
+                    };
                     let have: Vec<u64> = ws.assigned_in(iw).map(|(s, _)| s).collect();
                     ensure!(
                         have.len() as u64 <= quota,

@@ -72,7 +72,10 @@ mod tests {
         }
         // Window full: next insert must fail.
         let e = s.insert(JobId(9), Window::new(0, 8));
-        assert!(matches!(e, Err(realloc_core::Error::CapacityExhausted { .. })));
+        assert!(matches!(
+            e,
+            Err(realloc_core::Error::CapacityExhausted { .. })
+        ));
         checked(&mut s);
         // But deleting frees a slot.
         s.delete(JobId(0)).unwrap();
@@ -194,7 +197,8 @@ mod tests {
         let mut s = ReservationScheduler::with_tower(tower);
         // One job per level: spans 4, 8, 32, 128, 512.
         for (i, span) in [4u64, 8, 32, 128, 512].iter().enumerate() {
-            s.insert(JobId(i as u64), Window::with_span(0, *span)).unwrap();
+            s.insert(JobId(i as u64), Window::with_span(0, *span))
+                .unwrap();
             checked(&mut s);
         }
         assert_eq!(s.active_count(), 5);
@@ -208,7 +212,8 @@ mod tests {
     fn compact_reclaims_window_states() {
         let mut s = ReservationScheduler::new();
         for i in 0..32u64 {
-            s.insert(JobId(i), Window::with_span((i % 16) * 256, 256)).unwrap();
+            s.insert(JobId(i), Window::with_span((i % 16) * 256, 256))
+                .unwrap();
         }
         for i in 0..32u64 {
             s.delete(JobId(i)).unwrap();
@@ -220,7 +225,8 @@ mod tests {
         checked(&mut s);
         // …and the scheduler still works after compaction.
         for i in 100..120u64 {
-            s.insert(JobId(i), Window::with_span((i % 4) * 512, 512)).unwrap();
+            s.insert(JobId(i), Window::with_span((i % 4) * 512, 512))
+                .unwrap();
             checked(&mut s);
         }
     }
@@ -229,7 +235,8 @@ mod tests {
     fn trimmed_scheduler_round_trip() {
         let mut s = TrimmedScheduler::new(4);
         for i in 0..64u64 {
-            s.insert(JobId(i), Window::with_span((i % 8) * 512, 512)).unwrap();
+            s.insert(JobId(i), Window::with_span((i % 8) * 512, 512))
+                .unwrap();
             s.inner().check_invariants().unwrap();
         }
         assert_eq!(s.active_count(), 64);

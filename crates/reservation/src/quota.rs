@@ -136,8 +136,7 @@ mod tests {
             for x in 0..30u64 {
                 let gained = positions_gained(x, n);
                 for p in 0..n {
-                    let diff =
-                        reservation_count(x + 1, n, p) - reservation_count(x, n, p);
+                    let diff = reservation_count(x + 1, n, p) - reservation_count(x, n, p);
                     let expected = u64::from(gained.contains(&p));
                     assert_eq!(diff, expected, "n={n} x={x} p={p}");
                 }
@@ -151,8 +150,7 @@ mod tests {
             for x in 1..30u64 {
                 let lost = positions_lost(x, n);
                 for p in 0..n {
-                    let diff =
-                        reservation_count(x, n, p) - reservation_count(x - 1, n, p);
+                    let diff = reservation_count(x, n, p) - reservation_count(x - 1, n, p);
                     let expected = u64::from(lost.contains(&p));
                     assert_eq!(diff, expected, "n={n} x={x} p={p}");
                 }
@@ -174,9 +172,18 @@ mod tests {
     #[test]
     fn quota_priority_shortest_first() {
         let demands = [
-            Demand { span: 4, reservations: 3 },
-            Demand { span: 8, reservations: 2 },
-            Demand { span: 16, reservations: 4 },
+            Demand {
+                span: 4,
+                reservations: 3,
+            },
+            Demand {
+                span: 8,
+                reservations: 2,
+            },
+            Demand {
+                span: 16,
+                reservations: 4,
+            },
         ];
         assert_eq!(fulfilled_quotas(&demands, 9), vec![3, 2, 4]);
         assert_eq!(fulfilled_quotas(&demands, 6), vec![3, 2, 1]);
@@ -187,8 +194,14 @@ mod tests {
     #[test]
     fn quota_total_bounded_by_allowance() {
         let demands = [
-            Demand { span: 2, reservations: 5 },
-            Demand { span: 4, reservations: 5 },
+            Demand {
+                span: 2,
+                reservations: 5,
+            },
+            Demand {
+                span: 4,
+                reservations: 5,
+            },
         ];
         for a in 0..12u64 {
             let q = fulfilled_quotas(&demands, a);

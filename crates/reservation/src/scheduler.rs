@@ -200,7 +200,12 @@ impl ReservationScheduler {
     ///
     /// Step 2 makes the interval *exactly* quota-consistent; intervals that
     /// were never rebalanced simply hold no assignments yet (lazy rises).
-    fn rebalance(&mut self, level: usize, istart: Slot, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
+    fn rebalance(
+        &mut self,
+        level: usize,
+        istart: Slot,
+        moves: &mut Vec<SlotMove>,
+    ) -> Result<(), Error> {
         let ispan = self.ispan(level);
         let iw = Window::with_span(istart, ispan);
         let targets = self.quotas_at(level, istart);
@@ -417,7 +422,10 @@ impl ReservationScheduler {
                 );
                 rec.lower_occ.insert(target);
             } else {
-                debug_assert!(false, "ancestor interval of an occupied slot must be materialized");
+                debug_assert!(
+                    false,
+                    "ancestor interval of an occupied slot must be materialized"
+                );
             }
             // Re-point a level-lvl2 assignment at `target`, if any, to `s`.
             // At the hopper's own level this was done above; here we handle
@@ -509,7 +517,10 @@ impl ReservationScheduler {
                 .or_default()
                 .lower_occ
                 .insert(slot);
-            work.push_back(Task::Rebalance { level: lvl2, istart });
+            work.push_back(Task::Rebalance {
+                level: lvl2,
+                istart,
+            });
         }
         if let Some((h, hrec)) = displaced {
             work.push_back(Task::Place {

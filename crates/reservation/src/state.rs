@@ -76,7 +76,10 @@ impl WindowState {
     }
 
     /// Number of assigned slots within `interval` (a slot range).
-    pub fn assigned_in(&self, interval: Window) -> impl Iterator<Item = (Slot, Option<JobId>)> + '_ {
+    pub fn assigned_in(
+        &self,
+        interval: Window,
+    ) -> impl Iterator<Item = (Slot, Option<JobId>)> + '_ {
         self.assigned
             .range(interval.start()..interval.end())
             .map(|(&s, &j)| (s, j))
@@ -135,7 +138,10 @@ mod tests {
         w.add_assignment(20);
         assert_eq!(w.empty_assigned.len(), 2);
         w.occupy(10, JobId(1));
-        assert_eq!(w.empty_assigned.iter().copied().collect::<Vec<_>>(), vec![20]);
+        assert_eq!(
+            w.empty_assigned.iter().copied().collect::<Vec<_>>(),
+            vec![20]
+        );
         w.vacate(10);
         w.remove_assignment(10);
         assert_eq!(w.assigned.len(), 1);
@@ -148,10 +154,7 @@ mod tests {
         for s in [5u64, 9, 12, 31, 32] {
             w.add_assignment(s);
         }
-        let within: Vec<Slot> = w
-            .assigned_in(Window::new(8, 32))
-            .map(|(s, _)| s)
-            .collect();
+        let within: Vec<Slot> = w.assigned_in(Window::new(8, 32)).map(|(s, _)| s).collect();
         assert_eq!(within, vec![9, 12, 31]);
     }
 

@@ -85,11 +85,7 @@ impl TrimmedScheduler {
     /// every job whose slot changed.
     fn rebuild(&mut self, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
         self.rebuilds += 1;
-        let old: HashMap<JobId, Slot> = self
-            .inner
-            .assignments()
-            .into_iter()
-            .collect();
+        let old: HashMap<JobId, Slot> = self.inner.assignments().into_iter().collect();
         let mut fresh = ReservationScheduler::with_tower(self.tower.clone());
         // Insert in span order: shorter windows first never displace
         // anything, so the rebuild itself is cascade-free.

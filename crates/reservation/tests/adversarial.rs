@@ -21,7 +21,11 @@ fn saturation_leaves_valid_state() {
             s.check_invariants().unwrap();
         }
         // Near-full packing (E10b measures exact fill).
-        assert!(placed.len() as u64 >= span * 9 / 10, "span {span}: {}", placed.len());
+        assert!(
+            placed.len() as u64 >= span * 9 / 10,
+            "span {span}: {}",
+            placed.len()
+        );
         // Post-failure state is fully usable: drain everything.
         for id in placed {
             s.delete(id).unwrap();
@@ -61,7 +65,8 @@ fn full_depth_displacement_chain() {
     // One job per level with nested windows at the left edge; spans chosen
     // so each level is populated: 4 (L0), 8 (L1), 32 (L2), 128 (L3), 512 (L4).
     for (i, span) in [512u64, 128, 32, 8].iter().enumerate() {
-        s.insert(JobId(i as u64), Window::with_span(0, *span)).unwrap();
+        s.insert(JobId(i as u64), Window::with_span(0, *span))
+            .unwrap();
         s.check_invariants().unwrap();
     }
     // Hammer the bottom: insert/delete span-4 jobs claiming the left edge.
@@ -93,7 +98,11 @@ fn flutter_stability() {
         worst = worst.max(m1.len()).max(m2.len());
     }
     assert!(worst <= 4, "flutter cost crept to {worst}");
-    assert_eq!(s.window_states(), baseline_states, "state grew under flutter");
+    assert_eq!(
+        s.window_states(),
+        baseline_states,
+        "state grew under flutter"
+    );
     s.check_invariants().unwrap();
 }
 
@@ -111,7 +120,7 @@ fn contested_region_long_run() {
     for step in 0..2500 {
         let insert = active.len() < 256 && rng.gen_bool(0.55);
         if insert {
-            let span = [1u64, 4, 16, 64, 256, 1024][rng.gen_range(0..6)];
+            let span = [1u64, 4, 16, 64, 256, 1024][rng.gen_range(0..6usize)];
             let start = rng.gen_range(0..(1024 / span)) * span;
             let w = Window::with_span(start, span);
             let id = JobId(next);

@@ -60,7 +60,9 @@ fn apply_checked(sched: &mut ReservationScheduler, ops: &[Op]) -> usize {
                 }
                 let id = JobId(next);
                 next += 1;
-                sched.insert(id, w).expect("density-bounded insert succeeds");
+                sched
+                    .insert(id, w)
+                    .expect("density-bounded insert succeeds");
                 active.push((id, w));
             }
             Op::Delete { idx } => {
@@ -79,7 +81,11 @@ fn apply_checked(sched: &mut ReservationScheduler, ops: &[Op]) -> usize {
         // Feasibility: in-window, collision-free.
         let mut seen = HashMap::new();
         for (id, slot) in sched.assignments() {
-            let w = active.iter().find(|&&(j, _)| j == id).map(|&(_, w)| w).unwrap();
+            let w = active
+                .iter()
+                .find(|&&(j, _)| j == id)
+                .map(|&(_, w)| w)
+                .unwrap();
             assert!(w.contains_slot(slot));
             assert!(seen.insert(slot, id).is_none(), "slot collision");
         }

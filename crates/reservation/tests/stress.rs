@@ -70,7 +70,10 @@ fn churn(
         let mut seen = HashMap::new();
         for (id, slot) in sched.assignments() {
             let w = active[&id];
-            assert!(w.contains_slot(slot), "step {step}: {id} at {slot} outside {w}");
+            assert!(
+                w.contains_slot(slot),
+                "step {step}: {id} at {slot} outside {w}"
+            );
             if let Some(prev) = seen.insert(slot, id) {
                 panic!("step {step}: {id} and {prev} share slot {slot}");
             }
@@ -146,7 +149,7 @@ fn trimmed_churn_with_rebuilds() {
     let mut next_id = 0u64;
     for step in 0..600 {
         if active.is_empty() || rng.gen_bool(0.55) {
-            let span = [1u64, 4, 16, 64, 256][rng.gen_range(0..5)];
+            let span = [1u64, 4, 16, 64, 256][rng.gen_range(0..5usize)];
             let start = rng.gen_range(0..((1u64 << 12) / span)) * span;
             let w = Window::with_span(start, span);
             let mut windows: Vec<Window> = active.values().copied().collect();
@@ -156,7 +159,8 @@ fn trimmed_churn_with_rebuilds() {
             }
             let id = JobId(next_id);
             next_id += 1;
-            s.insert(id, w).unwrap_or_else(|e| panic!("step {step}: {e}"));
+            s.insert(id, w)
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
             active.insert(id, w);
         } else {
             let idx = rng.gen_range(0..active.len());

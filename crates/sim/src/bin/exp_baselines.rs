@@ -6,11 +6,11 @@
 //! (b) EDF and LLF full-recompute pay `Θ(n)` on the Lemma 12 staircase
 //!     toggle even though the instance stays feasible throughout.
 
+use realloc_baselines::{EdfRescheduler, LlfRescheduler};
 use realloc_sim::harness::{naive_multi, reservation_multi};
 use realloc_sim::report::{f2, Table};
 use realloc_sim::runner::{run, RunOptions};
 use realloc_sim::stats::{slope, Summary};
-use realloc_baselines::{EdfRescheduler, LlfRescheduler};
 use realloc_workloads::lemma12_toggle;
 
 fn main() {

@@ -15,8 +15,15 @@ fn main() {
     let mut table = Table::new(
         "E1: correctness of the Theorem-1 pipeline (validated every request)",
         &[
-            "machines", "gamma", "windows", "requests", "failures", "mean realloc",
-            "max realloc", "max migr", "valid",
+            "machines",
+            "gamma",
+            "windows",
+            "requests",
+            "failures",
+            "mean realloc",
+            "max realloc",
+            "max migr",
+            "valid",
         ],
     );
     for &(m, gamma, unaligned) in &[

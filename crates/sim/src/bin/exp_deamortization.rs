@@ -41,15 +41,15 @@ fn drive<S: SingleMachineReallocator>(sched: &mut S, seed: u64) -> (Vec<u64>, us
         out
     };
     let op = |sched: &mut S,
-                  grow: bool,
-                  active: &mut Vec<(JobId, Window)>,
-                  counts: &mut std::collections::HashMap<Window, u64>,
-                  rng: &mut StdRng,
-                  next: &mut u64|
+              grow: bool,
+              active: &mut Vec<(JobId, Window)>,
+              counts: &mut std::collections::HashMap<Window, u64>,
+              rng: &mut StdRng,
+              next: &mut u64|
      -> Option<u64> {
         if grow || active.is_empty() {
             for _ in 0..32 {
-                let span = [8u64, 32, 128, 512][rng.gen_range(0..4)];
+                let span = [8u64, 32, 128, 512][rng.gen_range(0..4usize)];
                 let start = rng.gen_range(0..(horizon / span)) * span;
                 let w = Window::with_span(start, span);
                 if ancestors(w)
@@ -96,7 +96,14 @@ fn drive<S: SingleMachineReallocator>(sched: &mut S, seed: u64) -> (Vec<u64>, us
 fn main() {
     let mut t = Table::new(
         "E11: amortized rebuilds vs deamortized even/odd drains (γ = 4)",
-        &["scheduler", "requests", "mean realloc", "p99", "max", "events"],
+        &[
+            "scheduler",
+            "requests",
+            "mean realloc",
+            "p99",
+            "max",
+            "events",
+        ],
     );
     let mut amortized = TrimmedScheduler::new(4);
     let (costs, _) = drive(&mut amortized, 3);

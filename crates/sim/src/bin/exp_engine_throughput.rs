@@ -1,0 +1,222 @@
+//! E13 — engine throughput: replays a churn workload through the sharded
+//! batching service (`realloc-engine`) and reports requests/sec plus
+//! per-shard cost telemetry.
+//!
+//! ```text
+//! exp_engine_throughput [--shards N] [--requests N] [--batch N]
+//!                       [--machines N] [--backend KIND] [--gamma G]
+//!                       [--parallel] [--sweep] [--seed S]
+//! ```
+//!
+//! Defaults replay a 100 000-request churn stream (γ = 8, unaligned
+//! windows) across 4 shards of 1 machine each, batched 256 requests per
+//! flush, on the Theorem-1 backend. `--sweep` additionally scans shard
+//! counts 1–16 to show the scaling curve.
+
+use realloc_engine::{BackendKind, Engine, EngineConfig};
+use realloc_sim::harness::{churn_seq, engine_config};
+use realloc_sim::report::{f2, Table};
+use std::time::Instant;
+
+struct Args {
+    shards: usize,
+    requests: usize,
+    batch: usize,
+    machines: usize,
+    backend: Option<String>,
+    gamma: u64,
+    parallel: bool,
+    sweep: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shards: 4,
+        requests: 100_000,
+        batch: 256,
+        machines: 1,
+        backend: None,
+        gamma: 8,
+        parallel: false,
+        sweep: false,
+        seed: 13,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--shards" => args.shards = num("--shards")? as usize,
+            "--requests" => args.requests = num("--requests")? as usize,
+            "--batch" => args.batch = num("--batch")? as usize,
+            "--machines" => args.machines = num("--machines")? as usize,
+            "--gamma" => args.gamma = num("--gamma")?,
+            "--backend" => args.backend = Some(it.next().ok_or("--backend needs a value")?),
+            "--parallel" => args.parallel = true,
+            "--sweep" => args.sweep = true,
+            "--seed" => args.seed = num("--seed")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: exp_engine_throughput [--shards N] [--requests N] \
+                     [--batch N] [--machines N] [--backend KIND] [--gamma G] \
+                     [--parallel] [--sweep] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.shards == 0 || args.batch == 0 || args.machines == 0 {
+        return Err("--shards/--batch/--machines must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn replay(cfg: EngineConfig, seq: &realloc_core::RequestSeq, batch: usize) -> (Engine, f64) {
+    let mut engine = Engine::new(cfg);
+    let start = Instant::now();
+    engine.ingest(seq, batch);
+    let secs = start.elapsed().as_secs_f64();
+    (engine, secs)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("exp_engine_throughput: {e}");
+            std::process::exit(2);
+        }
+    };
+    let backend = match &args.backend {
+        Some(raw) => match BackendKind::parse(raw) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("exp_engine_throughput: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => BackendKind::TheoremOne { gamma: args.gamma },
+    };
+
+    // One shared workload: the engine's router partitions it by job id,
+    // so the same stream is comparable across shard counts. Machine
+    // budget scales with the shard count × machines per shard.
+    let seq = churn_seq(
+        args.shards * args.machines,
+        args.gamma,
+        64 * args.shards * args.machines,
+        1 << 12,
+        true,
+        args.requests,
+        args.seed,
+    );
+    println!(
+        "workload: {} requests (peak {} active, max span {}), backend {}, \
+         {} shard(s) x {} machine(s), batch {}{}\n",
+        seq.len(),
+        seq.peak_active(),
+        seq.max_span(),
+        backend,
+        args.shards,
+        args.machines,
+        args.batch,
+        if args.parallel {
+            ", parallel flush"
+        } else {
+            ""
+        },
+    );
+
+    let cfg = engine_config(args.shards, args.machines, backend, args.parallel);
+    let (engine, secs) = replay(cfg, &seq, args.batch);
+    let m = engine.metrics();
+
+    let mut t = Table::new(
+        "E13: per-shard telemetry",
+        &[
+            "shard",
+            "requests",
+            "failed",
+            "active",
+            "realloc",
+            "migrations",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "max",
+        ],
+    );
+    for s in &m.shards {
+        t.row(vec![
+            s.shard.to_string(),
+            s.requests.to_string(),
+            s.failed.to_string(),
+            s.active_jobs.to_string(),
+            s.reallocations.to_string(),
+            s.migrations.to_string(),
+            f2(s.cost.mean),
+            s.cost.p50.to_string(),
+            s.cost.p95.to_string(),
+            s.cost.p99.to_string(),
+            s.cost.max.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "all".to_string(),
+        m.requests.to_string(),
+        m.failed.to_string(),
+        m.active_jobs.to_string(),
+        m.reallocations.to_string(),
+        m.migrations.to_string(),
+        f2(m.cost.mean),
+        m.cost.p50.to_string(),
+        m.cost.p95.to_string(),
+        m.cost.p99.to_string(),
+        m.cost.max.to_string(),
+    ]);
+    t.print();
+    println!(
+        "throughput: {:.0} requests/sec ({} requests in {:.3}s, {} batches, \
+         shard imbalance {:.2})\n",
+        m.requests as f64 / secs.max(1e-9),
+        m.requests,
+        secs,
+        engine.batches(),
+        m.imbalance(),
+    );
+
+    if args.sweep {
+        let mut t = Table::new(
+            "E13b: shard-count sweep (same workload, same batch size)",
+            &[
+                "shards",
+                "requests/sec",
+                "failed",
+                "mean realloc",
+                "p99 realloc",
+                "imbalance",
+            ],
+        );
+        for shards in [1usize, 2, 4, 8, 16] {
+            let cfg = engine_config(shards, args.machines, backend, args.parallel);
+            let (engine, secs) = replay(cfg, &seq, args.batch);
+            let m = engine.metrics();
+            t.row(vec![
+                shards.to_string(),
+                format!("{:.0}", m.requests as f64 / secs.max(1e-9)),
+                m.failed.to_string(),
+                f2(m.cost.mean),
+                m.cost.p99.to_string(),
+                f2(m.imbalance()),
+            ]);
+        }
+        t.print();
+    }
+}

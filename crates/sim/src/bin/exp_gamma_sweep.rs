@@ -14,7 +14,14 @@ use realloc_sim::runner::{run, RunOptions};
 fn main() {
     let mut t = Table::new(
         "E10: empirical γ threshold (m = 1, unaligned windows, n ≈ 300)",
-        &["gamma", "requests", "declined", "decline %", "mean realloc", "max realloc"],
+        &[
+            "gamma",
+            "requests",
+            "declined",
+            "decline %",
+            "mean realloc",
+            "max realloc",
+        ],
     );
     for &gamma in &[1u64, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
         let seq = churn_seq(1, gamma, 300, 1 << 12, true, 6000, 17 + gamma);
@@ -48,7 +55,13 @@ fn main() {
     // The achieved fill fraction f corresponds to an empirical γ ≈ 1/f.
     let mut t2 = Table::new(
         "E10b: single-window fill until first decline (empirical γ threshold)",
-        &["window span", "level", "jobs placed", "fill", "empirical gamma"],
+        &[
+            "window span",
+            "level",
+            "jobs placed",
+            "fill",
+            "empirical gamma",
+        ],
     );
     for &span in &[32u64, 64, 256, 1024, 4096] {
         use realloc_core::{JobId, SingleMachineReallocator, Window};

@@ -40,9 +40,12 @@ fn main() {
             // Random transient decoys exercise different code paths
             // between the "real" inserts.
             if rng.gen_bool(0.5) {
-                let span = [4u64, 32, 128][rng.gen_range(0..3)];
+                let span = [4u64, 32, 128][rng.gen_range(0..3usize)];
                 let start = rng.gen_range(0..(2048 / span)) * span;
-                if sched.insert(JobId(decoy), Window::with_span(start, span)).is_ok() {
+                if sched
+                    .insert(JobId(decoy), Window::with_span(start, span))
+                    .is_ok()
+                {
                     sched.delete(JobId(decoy)).unwrap();
                 }
                 decoy += 1;
@@ -61,13 +64,23 @@ fn main() {
 
     let mut t = Table::new(
         "E8: Observation 7 — history independence of fulfillment",
-        &["orders tested", "profile entries", "profiles identical", "placements vary"],
+        &[
+            "orders tested",
+            "profile entries",
+            "profiles identical",
+            "placements vary",
+        ],
     );
     t.row(vec![
         orders.to_string(),
         profiles[0].len().to_string(),
         if all_profiles_equal { "yes" } else { "NO" }.to_string(),
-        if placements_vary { "yes (as the paper says)" } else { "no" }.to_string(),
+        if placements_vary {
+            "yes (as the paper says)"
+        } else {
+            "no"
+        }
+        .to_string(),
     ]);
     t.print();
     assert!(all_profiles_equal, "Observation 7 violated");

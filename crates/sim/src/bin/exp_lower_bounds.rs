@@ -19,7 +19,14 @@ fn main() {
     // --- Lemma 11 -------------------------------------------------------
     let mut t1 = Table::new(
         "E5: Lemma 11 migration adversary (s requests ⇒ ≥ s/12 migrations)",
-        &["machines", "sched", "requests s", "migrations", "s/12", "per-request"],
+        &[
+            "machines",
+            "sched",
+            "requests s",
+            "migrations",
+            "s/12",
+            "per-request",
+        ],
     );
     for &m in &[2usize, 4, 8, 16] {
         for which in ["edf", "llf"] {
@@ -70,7 +77,12 @@ fn main() {
     // --- Lemma 12 -------------------------------------------------------
     let mut t2 = Table::new(
         "E6: Lemma 12 toggle — total reallocations grow quadratically in s",
-        &["eta", "requests s", "total reallocs", "total/s (≈ s/16 ⇒ Θ(s²))"],
+        &[
+            "eta",
+            "requests s",
+            "total reallocs",
+            "total/s (≈ s/16 ⇒ Θ(s²))",
+        ],
     );
     for &eta in &[32u64, 64, 128, 256] {
         // s scales with eta: eta inserts + eta/2 rounds × 4 requests.

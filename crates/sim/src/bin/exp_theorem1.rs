@@ -79,7 +79,12 @@ fn main() {
     // --- migrations (m > 1) --------------------------------------------
     let mut t3 = Table::new(
         "E3: migrations per request (γ = 16, unaligned windows)",
-        &["machines", "requests", "total migrations", "max per request"],
+        &[
+            "machines",
+            "requests",
+            "total migrations",
+            "max per request",
+        ],
     );
     for &m in &[2usize, 4, 8, 16] {
         let seq = churn_seq(m, 16, 200 * m, 1 << 10, true, 5000, 13);

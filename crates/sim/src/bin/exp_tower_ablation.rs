@@ -24,7 +24,14 @@ fn main() {
     let seq = churn_seq(1, 8, 400, 1 << 10, false, 6000, 71);
     let mut t = Table::new(
         "E13: tower ablation (same churn, Δ = 1024, n ≈ 400, γ = 8)",
-        &["tower L1,L2,…", "levels used", "mean", "p99", "max", "window states"],
+        &[
+            "tower L1,L2,…",
+            "levels used",
+            "mean",
+            "p99",
+            "max",
+            "window states",
+        ],
     );
     let towers: Vec<(String, Tower)> = vec![
         ("1024 (all base)".into(), Tower::custom(vec![1024])),

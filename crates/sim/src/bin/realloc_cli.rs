@@ -67,8 +67,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--validate" => args.validate = true,
             "--gantt" => {
-                let t0 = next_val(&mut it, "--gantt")?.parse().map_err(|e| format!("--gantt: {e}"))?;
-                let t1 = next_val(&mut it, "--gantt")?.parse().map_err(|e| format!("--gantt: {e}"))?;
+                let t0 = next_val(&mut it, "--gantt")?
+                    .parse()
+                    .map_err(|e| format!("--gantt: {e}"))?;
+                let t1 = next_val(&mut it, "--gantt")?
+                    .parse()
+                    .map_err(|e| format!("--gantt: {e}"))?;
                 args.gantt = Some((t0, t1));
             }
             "--emit" => args.emit = Some(next_val(&mut it, "--emit")?),
@@ -83,11 +87,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--len: {e}"))?
             }
             "--help" | "-h" => {
-                return Err("usage: realloc_cli <file> [--sched reservation|naive|edf|llf] \
+                return Err(
+                    "usage: realloc_cli <file> [--sched reservation|naive|edf|llf] \
                             [--machines M] [--gamma G] [--validate] [--gantt T0 T1]\n\
                             or:    realloc_cli --emit doctors-office|cloud-cluster|train-station \
                             [--seed S] [--len N] [--machines M]"
-                    .into())
+                        .into(),
+                )
             }
             other if !other.starts_with('-') && args.file.is_none() => {
                 args.file = Some(other.to_string())
@@ -183,26 +189,30 @@ fn main() -> ExitCode {
             let mut s = TheoremOneScheduler::theorem_one(args.machines, args.gamma);
             let r = run(&mut s, &seq, opts).unwrap();
             report("reservation (Theorem 1)", &r);
-            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+            args.gantt
+                .map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
         }
         "naive" => {
             let mut s =
                 ReallocatingScheduler::from_factory(args.machines, NaivePeckingScheduler::new);
             let r = run(&mut s, &seq, opts).unwrap();
             report("naive pecking order (Lemma 4)", &r);
-            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+            args.gantt
+                .map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
         }
         "edf" => {
             let mut s = EdfRescheduler::new(args.machines);
             let r = run(&mut s, &seq, opts).unwrap();
             report("EDF full recompute", &r);
-            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+            args.gantt
+                .map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
         }
         "llf" => {
             let mut s = LlfRescheduler::new(args.machines);
             let r = run(&mut s, &seq, opts).unwrap();
             report("LLF full recompute", &r);
-            args.gantt.map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
+            args.gantt
+                .map(|(t0, t1)| gantt(&s.snapshot(), args.machines, t0, t1))
         }
         other => {
             eprintln!("unknown scheduler '{other}'");

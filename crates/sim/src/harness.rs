@@ -2,10 +2,11 @@
 //! shorthands used by the `exp_*` binaries.
 
 use realloc_baselines::NaivePeckingScheduler;
+use realloc_core::RequestSeq;
+use realloc_engine::{BackendKind, EngineConfig};
 use realloc_multi::{ReallocatingScheduler, TheoremOneScheduler};
 use realloc_reservation::{ReservationScheduler, TrimmedScheduler};
 use realloc_workloads::{ChurnConfig, ChurnGenerator};
-use realloc_core::RequestSeq;
 
 /// The paper's Theorem 1 configuration (reservation + trim on every
 /// machine).
@@ -27,6 +28,23 @@ pub fn naive_multi(machines: usize) -> ReallocatingScheduler<NaivePeckingSchedul
 /// Trimmed single-machine backend (for per-machine experiments).
 pub fn trimmed(gamma: u64) -> TrimmedScheduler {
     TrimmedScheduler::new(gamma)
+}
+
+/// Engine configuration for the serving-layer experiments
+/// (`exp_engine_throughput`, engine benches).
+pub fn engine_config(
+    shards: usize,
+    machines_per_shard: usize,
+    backend: BackendKind,
+    parallel: bool,
+) -> EngineConfig {
+    EngineConfig {
+        shards,
+        machines_per_shard,
+        backend,
+        parallel,
+        journal: false,
+    }
 }
 
 /// Churn sequence with `len` requests hovering around `target` active jobs

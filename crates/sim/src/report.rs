@@ -120,8 +120,20 @@ mod tests {
     fn gantt_renders_occupancy() {
         use realloc_core::{cost::Placement, JobId, ScheduleSnapshot};
         let mut s = ScheduleSnapshot::new();
-        s.set(JobId(7), Placement { machine: 0, slot: 2 });
-        s.set(JobId(13), Placement { machine: 1, slot: 0 });
+        s.set(
+            JobId(7),
+            Placement {
+                machine: 0,
+                slot: 2,
+            },
+        );
+        s.set(
+            JobId(13),
+            Placement {
+                machine: 1,
+                slot: 0,
+            },
+        );
         let g = gantt(&s, 2, 0, 4);
         assert!(g.contains("m0 |..7.|"));
         assert!(g.contains("m1 |3...|"));

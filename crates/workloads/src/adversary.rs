@@ -155,11 +155,7 @@ pub fn obs13_slide(gamma: u64, k: u64, sweeps: usize) -> Vec<SizedRequest> {
         reqs.push(SizedRequest::Insert(Job::unit(i, Window::new(0, m))));
     }
     let mut next = k;
-    reqs.push(SizedRequest::Insert(Job::sized(
-        next,
-        Window::new(0, k),
-        k,
-    )));
+    reqs.push(SizedRequest::Insert(Job::sized(next, Window::new(0, k), k)));
     for _ in 0..sweeps {
         for pos in 1..(m / k) {
             reqs.push(SizedRequest::Delete(JobId(next)));
@@ -173,11 +169,7 @@ pub fn obs13_slide(gamma: u64, k: u64, sweeps: usize) -> Vec<SizedRequest> {
         // Slide back to the start for the next sweep.
         reqs.push(SizedRequest::Delete(JobId(next)));
         next += 1;
-        reqs.push(SizedRequest::Insert(Job::sized(
-            next,
-            Window::new(0, k),
-            k,
-        )));
+        reqs.push(SizedRequest::Insert(Job::sized(next, Window::new(0, k), k)));
     }
     reqs
 }

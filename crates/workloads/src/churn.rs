@@ -100,9 +100,9 @@ impl ChurnGenerator {
     }
 
     fn admissible(&self, effective: Window) -> bool {
-        self.ancestors(effective).into_iter().all(|a| {
-            self.counts.get(&a).copied().unwrap_or(0) < self.budget_of(a)
-        })
+        self.ancestors(effective)
+            .into_iter()
+            .all(|a| self.counts.get(&a).copied().unwrap_or(0) < self.budget_of(a))
     }
 
     fn charge(&mut self, effective: Window, delta: i64) {
@@ -169,9 +169,7 @@ impl ChurnGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use realloc_core::feasibility::{
-        aligned_density_max_gamma, gamma_underallocated_blocked,
-    };
+    use realloc_core::feasibility::{aligned_density_max_gamma, gamma_underallocated_blocked};
     use realloc_core::Job;
     use std::collections::BTreeMap;
 
@@ -203,8 +201,7 @@ mod tests {
                     active.remove(&id);
                 }
             }
-            let aligned: Vec<Window> =
-                active.values().map(|w| w.aligned_subwindow()).collect();
+            let aligned: Vec<Window> = active.values().map(|w| w.aligned_subwindow()).collect();
             assert!(
                 aligned_density_max_gamma(&aligned, 1) >= 8,
                 "prefix lost 8-density"
@@ -263,6 +260,10 @@ mod tests {
         let mut g = ChurnGenerator::new(cfg, 5);
         let _ = g.generate(2000);
         assert!(g.active().len() <= 50);
-        assert!(g.active().len() >= 10, "churn collapsed: {}", g.active().len());
+        assert!(
+            g.active().len() >= 10,
+            "churn collapsed: {}",
+            g.active().len()
+        );
     }
 }

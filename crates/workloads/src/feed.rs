@@ -1,0 +1,125 @@
+//! Scenario → engine-request adapters.
+//!
+//! The serving layer (`realloc-engine`) ingests requests in batches,
+//! optionally tagged with a tenant. This module turns the crate's
+//! generators into that shape without the workloads crate depending on
+//! the engine: batches are plain [`RequestSeq`]s, tenants plain `u16`s
+//! (matching `realloc_engine::TenantId`'s representation).
+
+use crate::churn::ChurnGenerator;
+use realloc_core::{Request, RequestSeq};
+
+/// Chops a churn stream into flush-sized batches: up to `total` requests
+/// in batches of `batch_size` (the last batch may be short; generation
+/// stops early if the generator saturates).
+pub fn batches(gen: &mut ChurnGenerator, total: usize, batch_size: usize) -> Vec<RequestSeq> {
+    assert!(batch_size >= 1);
+    let mut out = Vec::with_capacity(total.div_ceil(batch_size));
+    let mut produced = 0usize;
+    while produced < total {
+        let want = batch_size.min(total - produced);
+        let batch = gen.generate(want);
+        if batch.is_empty() {
+            break;
+        }
+        produced += batch.len();
+        out.push(batch);
+    }
+    out
+}
+
+/// Interleaves several tenants' churn streams into engine-sized batches.
+///
+/// Each batch draws `per_tenant` requests from every live stream in
+/// round-robin tenant order, yielding `(tenant, request)` pairs — the
+/// exact shape `realloc_engine::Engine::submit_for` consumes. Tenant ids
+/// must be distinct; each tenant keeps its own id space (the engine
+/// namespaces them).
+pub struct TenantFeed {
+    streams: Vec<(u16, ChurnGenerator)>,
+}
+
+impl TenantFeed {
+    /// Builds a feed from `(tenant, generator)` streams.
+    pub fn new(streams: Vec<(u16, ChurnGenerator)>) -> Self {
+        let mut ids: Vec<u16> = streams.iter().map(|(t, _)| *t).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), streams.len(), "duplicate tenant id");
+        TenantFeed { streams }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Produces the next batch, `per_tenant` requests per live tenant;
+    /// `None` when every stream is exhausted.
+    pub fn next_batch(&mut self, per_tenant: usize) -> Option<Vec<(u16, Request)>> {
+        let mut out = Vec::with_capacity(per_tenant * self.streams.len());
+        for (tenant, gen) in &mut self.streams {
+            for _ in 0..per_tenant {
+                match gen.next_request() {
+                    Some(r) => out.push((*tenant, r)),
+                    None => break,
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnConfig;
+
+    fn gen(seed: u64) -> ChurnGenerator {
+        ChurnGenerator::new(
+            ChurnConfig {
+                target_active: 32,
+                horizon: 1 << 10,
+                spans: vec![1, 4, 16],
+                ..ChurnConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn batches_cover_the_requested_total() {
+        let mut g = gen(1);
+        let bs = batches(&mut g, 500, 64);
+        let total: usize = bs.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 500);
+        assert!(bs.iter().take(bs.len() - 1).all(|b| b.len() == 64));
+        // Concatenated, the batches are one well-formed stream.
+        let mut all = RequestSeq::new();
+        for b in bs {
+            all.extend(b);
+        }
+        all.validate().expect("batched stream stays well-formed");
+    }
+
+    #[test]
+    fn tenant_feed_interleaves_all_tenants() {
+        let mut feed = TenantFeed::new(vec![(1, gen(10)), (2, gen(20)), (3, gen(30))]);
+        assert_eq!(feed.tenants(), 3);
+        let batch = feed.next_batch(8).expect("fresh streams produce");
+        assert_eq!(batch.len(), 24);
+        for t in [1u16, 2, 3] {
+            assert_eq!(batch.iter().filter(|(bt, _)| *bt == t).count(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant id")]
+    fn duplicate_tenants_rejected() {
+        TenantFeed::new(vec![(1, gen(1)), (1, gen(2))]);
+    }
+}

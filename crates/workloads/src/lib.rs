@@ -11,14 +11,18 @@
 //!   Lemma 12 toggle (`Ω(s²)` reallocations without slack), and the
 //!   Observation 13 sized-job slide (`Ω(kn)` with job sizes `{1, k}`);
 //! * [`scenarios`] — themed presets: the doctor's office from the paper's
-//!   introduction, and a cloud batch cluster.
+//!   introduction, and a cloud batch cluster;
+//! * [`feed`] — scenario → engine-request adapters: flush-sized batches
+//!   and multi-tenant interleaving for `realloc-engine` ingestion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod churn;
+pub mod feed;
 pub mod scenarios;
 
 pub use adversary::{lemma12_toggle, obs13_slide, Lemma11Adversary, SizedRequest};
 pub use churn::{ChurnConfig, ChurnGenerator};
+pub use feed::TenantFeed;

@@ -28,9 +28,7 @@ fn main() {
         "  per-toggle reallocations: {:?} …",
         &toggle_costs[..8.min(toggle_costs.len())]
     );
-    println!(
-        "  (every front/back insert forces ~η = {eta} jobs to shift — the Θ(s²) total)"
-    );
+    println!("  (every front/back insert forces ~η = {eta} jobs to shift — the Θ(s²) total)");
 
     // --- Lemma 11: the migration adversary -----------------------------
     let m = 4;

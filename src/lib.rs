@@ -42,7 +42,29 @@
 //! | [`multi`] | §3, §5 | machine delegation + alignment wrappers |
 //! | [`baselines`] | §1, §4, §6 | naive / EDF / LLF / offline / sized-EDF |
 //! | [`workloads`] | §6, §7 | churn generators and lower-bound adversaries |
+//! | [`engine`] | — | sharded, batched, multi-tenant scheduling service |
 //! | [`sim`] | — | harness, stats, experiment binaries |
+//!
+//! # Serving layer
+//!
+//! [`Engine`] shards requests across independent scheduler backends,
+//! ingests them in batches, and aggregates per-shard cost telemetry:
+//!
+//! ```
+//! use realloc_sched::{BackendKind, Engine, EngineConfig, JobId, Request, Window};
+//!
+//! let mut engine = Engine::new(EngineConfig {
+//!     shards: 4,
+//!     backend: BackendKind::TheoremOne { gamma: 8 },
+//!     ..EngineConfig::default()
+//! });
+//! for i in 0..32u64 {
+//!     engine.submit(Request::Insert { id: JobId(i), window: Window::new(0, 256) });
+//! }
+//! let report = engine.flush();
+//! assert_eq!(report.processed(), 32);
+//! assert_eq!(engine.metrics().active_jobs, 32);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,15 +89,19 @@ pub mod baselines {
 pub mod workloads {
     pub use realloc_workloads::*;
 }
+/// The sharded, batched scheduling service (re-export of `realloc-engine`).
+pub mod engine {
+    pub use realloc_engine::*;
+}
 /// Simulation harness (re-export of `realloc-sim`).
 pub mod sim {
     pub use realloc_sim::*;
 }
 
 pub use realloc_core::{
-    log_star, CostMeter, Error, Job, JobId, Move, Placement, Reallocator, Request,
-    RequestOutcome, RequestSeq, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower,
-    Window,
+    log_star, CostMeter, Error, Job, JobId, Move, Placement, Reallocator, Request, RequestOutcome,
+    RequestSeq, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
 };
+pub use realloc_engine::{BackendKind, Engine, EngineConfig, Journal, Metrics, TenantId};
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};

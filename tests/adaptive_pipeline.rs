@@ -6,9 +6,7 @@
 use realloc_sched::baselines::NaivePeckingScheduler;
 use realloc_sched::core::schedule::validate;
 use realloc_sched::multi::adaptive::AdaptiveScheduler;
-use realloc_sched::{
-    JobId, Reallocator, ReallocatingScheduler, ReservationScheduler, Window,
-};
+use realloc_sched::{JobId, ReallocatingScheduler, Reallocator, ReservationScheduler, Window};
 use std::collections::BTreeMap;
 
 type Backend = AdaptiveScheduler<

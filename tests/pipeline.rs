@@ -50,11 +50,7 @@ fn migrations_at_most_one_per_request_everywhere() {
     let seq = churn_seq(6, 16, 600, 1 << 12, true, 4000, 33);
     let mut sched = TheoremOneScheduler::theorem_one(6, 16);
     let report = run(&mut sched, &seq, RunOptions::default()).unwrap();
-    assert!(report
-        .meter
-        .samples()
-        .iter()
-        .all(|s| s.migrations <= 1));
+    assert!(report.meter.samples().iter().all(|s| s.migrations <= 1));
 }
 
 #[test]
