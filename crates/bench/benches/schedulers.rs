@@ -8,15 +8,94 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use realloc_baselines::{EdfRescheduler, NaivePeckingScheduler};
-use realloc_core::{Reallocator, RequestSeq};
+use realloc_core::{Reallocator, Request, RequestSeq, SingleMachineReallocator};
 use realloc_multi::{ReallocatingScheduler, TheoremOneScheduler};
 use realloc_reservation::ReservationScheduler;
 use realloc_sim::harness::churn_seq;
+use realloc_workloads::{ChurnConfig, ChurnGenerator};
 
 fn replay<R: Reallocator>(sched: &mut R, seq: &RequestSeq) {
     for &r in seq.requests() {
         sched.request(r).expect("bench stream is serviceable");
     }
+}
+
+/// E14 — the **bare** §4 `ReservationScheduler`, no trimming and no
+/// machine/alignment wrappers, so `BENCH_reservation_churn.json` tracks
+/// the rebalance/PLACE hot path itself (scratch buffers, occupancy
+/// index, FxHash maps) without serving-layer overhead diluting it.
+fn bench_reservation_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservation_churn");
+    // Aligned single-machine churn, accepted verbatim by the bare
+    // scheduler. Spans cover levels 0–2 of the paper tower.
+    let aligned = |target: usize, len: usize, seed: u64| -> RequestSeq {
+        let mut gen = ChurnGenerator::new(
+            ChurnConfig {
+                machines: 1,
+                gamma: 8,
+                horizon: 1 << 14,
+                spans: vec![1, 4, 16, 64, 256, 1024],
+                target_active: target,
+                insert_bias: 0.6,
+                unaligned: false,
+            },
+            seed,
+        );
+        gen.generate(len)
+    };
+    for &n in &[100usize, 400, 1600] {
+        let seq = aligned(n, 6 * n, 17);
+        group.throughput(Throughput::Elements(seq.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("insert_delete", n),
+            &seq,
+            |b, seq: &RequestSeq| {
+                b.iter(|| {
+                    let mut s = ReservationScheduler::new();
+                    for &r in seq.requests() {
+                        match r {
+                            Request::Insert { id, window } => {
+                                s.insert(id, window).expect("aligned γ=8 churn")
+                            }
+                            Request::Delete { id } => s.delete(id).expect("active job"),
+                        };
+                    }
+                    s.active_count()
+                })
+            },
+        );
+    }
+    // Delete-heavy phase: deletes trigger the eager rebalance path (quota
+    // drops, sheds, MOVEs) that the scratch/occupancy work targets most.
+    let build = aligned(800, 2400, 23);
+    group.throughput(Throughput::Elements(build.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("churn_drain"),
+        &build,
+        |b, seq: &RequestSeq| {
+            b.iter(|| {
+                let mut s = ReservationScheduler::new();
+                let mut live: Vec<realloc_core::JobId> = Vec::new();
+                for &r in seq.requests() {
+                    match r {
+                        Request::Insert { id, window } => {
+                            s.insert(id, window).expect("aligned γ=8 churn");
+                            live.push(id);
+                        }
+                        Request::Delete { id } => {
+                            s.delete(id).expect("active job");
+                            live.retain(|&j| j != id);
+                        }
+                    }
+                }
+                for id in live.drain(..) {
+                    s.delete(id).expect("active job");
+                }
+                s.occupied_slots()
+            })
+        },
+    );
+    group.finish();
 }
 
 fn bench_vs_n(c: &mut Criterion) {
@@ -92,6 +171,6 @@ fn bench_vs_span(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_vs_n, bench_vs_machines, bench_vs_span
+    targets = bench_reservation_churn, bench_vs_n, bench_vs_machines, bench_vs_span
 }
 criterion_main!(benches);

@@ -20,6 +20,30 @@ use std::time::{Duration, Instant};
 const SAMPLE_TARGET_MS: u64 = 20;
 const WARMUP_MS: u64 = 50;
 
+/// `BENCH_SMOKE=1` shrinks warmup/sample budgets to a few milliseconds
+/// and caps samples at 2 — a CI-friendly "does every bench still run"
+/// mode (numbers are meaningless; the JSON is still written). This is
+/// the shim's equivalent of real criterion's `--test` quick mode.
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn sample_target_ms() -> u64 {
+    if smoke() {
+        2
+    } else {
+        SAMPLE_TARGET_MS
+    }
+}
+
+fn warmup_ms() -> u64 {
+    if smoke() {
+        2
+    } else {
+        WARMUP_MS
+    }
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
@@ -138,11 +162,16 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
+        let samples = if smoke() {
+            2
+        } else {
+            self.criterion.sample_size
+        };
         let mut b = Bencher::calibrating();
         f(&mut b); // warmup + calibration pass
         let iters = b.calibrated_iters();
-        let mut times = Vec::with_capacity(self.criterion.sample_size);
-        for _ in 0..self.criterion.sample_size {
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
             let mut b = Bencher::measuring(iters);
             f(&mut b);
             times.push(b.elapsed_ns() / iters as f64);
@@ -173,7 +202,7 @@ impl BenchmarkGroup<'_> {
             median_ns,
             min_ns,
             iters_per_sample: iters,
-            samples: self.criterion.sample_size,
+            samples,
             throughput_per_sec,
         });
         self
@@ -256,7 +285,7 @@ impl Bencher {
     pub fn iter<O>(&mut self, mut payload: impl FnMut() -> O) {
         match &mut self.mode {
             BenchMode::Calibrating { est_ns } => {
-                let budget = Duration::from_millis(WARMUP_MS);
+                let budget = Duration::from_millis(warmup_ms());
                 let start = Instant::now();
                 let mut runs = 0u64;
                 while start.elapsed() < budget {
@@ -278,7 +307,7 @@ impl Bencher {
     fn calibrated_iters(&self) -> u64 {
         match &self.mode {
             BenchMode::Calibrating { est_ns } => {
-                let target_ns = (SAMPLE_TARGET_MS * 1_000_000) as f64;
+                let target_ns = (sample_target_ms() * 1_000_000) as f64;
                 (target_ns / est_ns.max(1.0)).clamp(1.0, 1e9) as u64
             }
             BenchMode::Measuring { .. } => unreachable!("calibration mode only"),

@@ -1,0 +1,164 @@
+//! Offline shim for an FxHash-style fast hasher (the `rustc-hash` /
+//! `fxhash` idiom: multiply–xor–rotate over word-sized chunks), for the
+//! hash maps on the scheduling hot path.
+//!
+//! `std`'s default `SipHash` is DoS-resistant but costs tens of
+//! nanoseconds per lookup; the scheduler's keys are small integers and
+//! windows (`u64`-shaped), hashed millions of times per second on the
+//! ingest path, and none of the keyed maps are exposed to attacker-chosen
+//! keys (job ids are tenant-namespaced upstream). FxHash trades the DoS
+//! resistance we don't need for a few-cycle hash.
+//!
+//! A welcome side effect: unlike `std`'s per-instance `RandomState`,
+//! [`FxBuildHasher`] is deterministic, so iteration order of an
+//! [`FxHashMap`] depends only on the insertion history — two engines fed
+//! the same stream behave identically, which the journal-replay and
+//! parallel-vs-sequential equivalence guarantees rely on wherever an
+//! iteration order can leak into a decision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox/rustc multiplier constant (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Each word of input is folded in as
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`; sub-word tails are
+/// zero-extended. Not DoS-resistant — use only where keys are trusted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so maps that use only the low/high bits still
+        // see every input bit (the bare Fx state is weak in its low bits
+        // for sequential integer keys).
+        let h = self.hash;
+        h.rotate_left(26) ^ h.rotate_left(53) ^ h
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`] — deterministic (no
+/// per-instance random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for v in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(hash_of(&v), hash_of(&v));
+            let other = FxBuildHasher::default().hash_one(v);
+            assert_eq!(hash_of(&v), other, "builders must agree");
+        }
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential u64 keys (job ids, slots) must spread; collisions on
+        // the full 64-bit output would signal a broken mix.
+        let hashes: std::collections::HashSet<u64> = (0u64..10_000).map(|v| hash_of(&v)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_tail_handling() {
+        // Same logical bytes, different write granularity ⇒ same digest
+        // is NOT required by the Hasher contract, but each must be
+        // self-consistent and tail bytes must affect the result.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fx_map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(7 + (1 << 32), "big");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<(u64, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the low bits for bucket selection; sequential ids
+        // must not all land in a handful of buckets.
+        let mut buckets = std::collections::HashSet::new();
+        for v in 0u64..256 {
+            buckets.insert(hash_of(&v) & 127);
+        }
+        assert!(buckets.len() > 100, "only {} of 128 buckets", buckets.len());
+    }
+}

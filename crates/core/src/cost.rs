@@ -122,8 +122,24 @@ impl RequestOutcome {
     ///
     /// Moves are netted per job: the first `from` and the last `to` survive.
     pub fn netted(&self) -> RequestOutcome {
+        // This runs once per serviced request on the engine's ingest
+        // path, and Theorem 1 keeps per-request move lists tiny
+        // (`O(min{log* n, log* Δ})`), so a backwards linear scan beats
+        // building a hash map. The map path covers pathological lists
+        // (EDF/LLF full recomputes, rebuilds).
+        if self.moves.len() <= 32 {
+            let mut net: Vec<Move> = Vec::with_capacity(self.moves.len());
+            for m in &self.moves {
+                match net.iter_mut().rfind(|acc| acc.job == m.job) {
+                    None => net.push(*m),
+                    Some(acc) => acc.to = m.to,
+                }
+            }
+            net.retain(|m| m.from.is_some() || m.to.is_some());
+            return RequestOutcome { moves: net };
+        }
         let mut order: Vec<JobId> = Vec::new();
-        let mut net: std::collections::HashMap<JobId, Move> = std::collections::HashMap::new();
+        let mut net: fxhash::FxHashMap<JobId, Move> = fxhash::FxHashMap::default();
         for m in &self.moves {
             match net.get_mut(&m.job) {
                 None => {

@@ -13,7 +13,8 @@
 use crate::cost::Placement;
 use crate::job::JobId;
 use crate::window::Window;
-use std::collections::{BTreeMap, HashMap};
+use fxhash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// A flat snapshot of the current schedule: each active job's placement.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -171,7 +172,8 @@ pub fn validate(
             return Err(ValidationError::MissingJob(job));
         }
     }
-    let mut occupied: HashMap<Placement, JobId> = HashMap::with_capacity(snapshot.len());
+    let mut occupied: FxHashMap<Placement, JobId> =
+        FxHashMap::with_capacity_and_hasher(snapshot.len(), Default::default());
     for (job, placement) in snapshot.iter() {
         let window = match active.get(&job) {
             Some(w) => *w,

@@ -171,7 +171,9 @@ proptest! {
 
     #[test]
     fn netting_never_increases_costs(
-        raw in prop::collection::vec((0u64..6, 0usize..3, 0u64..20, 0usize..3, 0u64..20), 0..20),
+        // 0..90 moves: crosses netted()'s 32-move threshold, so both the
+        // linear fast path and the hash-map path are exercised.
+        raw in prop::collection::vec((0u64..6, 0usize..3, 0u64..20, 0usize..3, 0u64..20), 0..90),
     ) {
         use realloc_core::{Move, Placement, RequestOutcome};
         // Build chained move lists per job so from/to are consistent.
@@ -188,5 +190,18 @@ proptest! {
         prop_assert!(netted.migration_cost() <= outcome.moves.len() as u64);
         // Netting is idempotent.
         prop_assert_eq!(netted.netted(), netted.clone());
+        // Both implementations (linear fast path for short lists, hash
+        // map above the threshold) must agree with the reference rule:
+        // one net move per job at first appearance, first `from` + last
+        // `to`, moves that cancel to (None, None) dropped.
+        let mut ref_moves: Vec<Move> = Vec::new();
+        for m in &outcome.moves {
+            match ref_moves.iter_mut().find(|acc| acc.job == m.job) {
+                None => ref_moves.push(*m),
+                Some(acc) => acc.to = m.to,
+            }
+        }
+        ref_moves.retain(|m| m.from.is_some() || m.to.is_some());
+        prop_assert_eq!(netted.moves, ref_moves);
     }
 }

@@ -62,6 +62,7 @@ pub mod backend;
 pub mod batch;
 pub mod journal;
 pub mod metrics;
+pub mod pool;
 pub mod shard;
 
 pub use backend::BackendKind;
@@ -70,9 +71,16 @@ pub use journal::{Journal, JournalEvent, ReplayDivergence};
 pub use metrics::Metrics;
 
 use crate::journal::Costs;
+use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardDrain};
 use realloc_core::cost::Placement;
 use realloc_core::{Error, JobId, Request, RequestSeq};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks one shard cell (uncontended outside a concurrent flush).
+pub(crate) fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard.lock().expect("shard mutex poisoned")
+}
 
 /// A tenant namespace. Each tenant's external job ids live in a disjoint
 /// slice of the global [`JobId`] space (see [`Engine::submit_for`]).
@@ -97,9 +105,14 @@ pub struct EngineConfig {
     pub machines_per_shard: usize,
     /// Scheduler each shard runs.
     pub backend: BackendKind,
-    /// Drain shards on worker threads during [`Engine::flush`]. Results
-    /// are identical either way (shards are independent); this only
-    /// trades thread spawn overhead against parallel drain time.
+    /// Drain shards on a **persistent worker pool** during
+    /// [`Engine::flush`]: `min(shards, available_parallelism)` long-lived
+    /// threads spawned at construction, each draining a contiguous chunk
+    /// of shards (inline when the host offers no parallelism — enabling
+    /// this is never a pessimization). Results are identical either way
+    /// (shards are independent and the flush is a full barrier); this
+    /// only trades a channel round-trip per flush against parallel drain
+    /// time. See `BENCH_engine_ingest.json`.
     pub parallel: bool,
     /// Record every serviced request into an in-memory [`Journal`].
     pub journal: bool,
@@ -118,9 +131,15 @@ impl Default for EngineConfig {
 }
 
 /// The sharded, batched scheduling service. See the crate docs.
+///
+/// Shards live behind `Arc<Mutex<_>>` so the persistent worker pool can
+/// drain them without `unsafe`; every mutex is uncontended outside a
+/// concurrent flush (the engine is the only other lock holder).
 pub struct Engine {
     cfg: EngineConfig,
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Mutex<Shard>>>,
+    /// Persistent drain workers, present iff `cfg.parallel` with > 1 shard.
+    pool: Option<WorkerPool>,
     journal: Option<Journal>,
     batches: u64,
 }
@@ -145,13 +164,25 @@ impl Engine {
             cfg.machines_per_shard >= 1,
             "shards need at least one machine"
         );
-        let shards = (0..cfg.shards)
-            .map(|i| Shard::new(i, cfg.backend, cfg.machines_per_shard))
+        let shards: Vec<Arc<Mutex<Shard>>> = (0..cfg.shards)
+            .map(|i| {
+                Arc::new(Mutex::new(Shard::new(
+                    i,
+                    cfg.backend,
+                    cfg.machines_per_shard,
+                )))
+            })
             .collect();
+        // A pool with fewer than two hardware threads behind it can only
+        // add context switches — degrade to inline drains so `parallel`
+        // is never a pessimization.
+        let pool = (cfg.parallel && cfg.shards > 1 && WorkerPool::threads_for(cfg.shards) > 1)
+            .then(|| WorkerPool::new(&shards));
         let journal = cfg.journal.then(|| Journal::new(cfg.clone()));
         Engine {
             cfg,
             shards,
+            pool,
             journal,
             batches: 0,
         }
@@ -160,6 +191,25 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Test hook: build the persistent worker pool — with **multiple
+    /// workers** — even when the host's available parallelism would make
+    /// the engine drain inline (see [`EngineConfig::parallel`]). Lets
+    /// the pool/journal equivalence property tests exercise the real
+    /// cross-worker barrier and chunk reassembly on single-core CI
+    /// runners. No-op when a pool already exists or with one shard.
+    #[doc(hidden)]
+    pub fn force_parallel_pool(&mut self) {
+        if self.pool.is_none() && self.shards.len() > 1 {
+            let threads = self.shards.len().clamp(2, 4);
+            self.pool = Some(WorkerPool::with_threads(&self.shards, threads));
+        }
+    }
+
+    /// Whether flushes currently drain on the worker pool.
+    pub fn uses_pool(&self) -> bool {
+        self.pool.is_some()
     }
 
     /// The shard a job id routes to — a pure function of the id and the
@@ -186,7 +236,7 @@ impl Engine {
     /// would let them address each other's jobs.
     pub fn submit(&mut self, request: Request) {
         let shard = self.shard_of(request.job_id());
-        self.shards[shard].enqueue(request);
+        lock(&self.shards[shard]).enqueue(request);
     }
 
     /// Enqueues every request of a sequence (raw id space; see
@@ -233,28 +283,19 @@ impl Engine {
 
     /// Requests queued across all shards, waiting for the next flush.
     pub fn queued(&self) -> usize {
-        self.shards.iter().map(|s| s.queued()).sum()
+        self.shards.iter().map(|s| lock(s).queued()).sum()
     }
 
-    /// Services every queued request. Shards drain concurrently when the
-    /// engine is configured `parallel`; each shard processes its own
-    /// queue in FIFO order either way, so results are identical.
+    /// Services every queued request. Shards drain concurrently on the
+    /// persistent worker pool when the engine is configured `parallel`;
+    /// each shard processes its own queue in FIFO order either way, so
+    /// results are identical.
     pub fn flush(&mut self) -> BatchReport {
-        let drains: Vec<ShardDrain> = if self.cfg.parallel && self.shards.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .map(|sh| scope.spawn(move || sh.drain()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard drain panicked"))
-                    .collect()
-            })
-        } else {
-            self.shards.iter_mut().map(|s| s.drain()).collect()
-        };
+        let mut drains: Vec<ShardDrain> = Vec::with_capacity(self.shards.len());
+        match &self.pool {
+            Some(pool) => pool.drain_all(&mut drains),
+            None => drains.extend(self.shards.iter().map(|s| lock(s).drain())),
+        }
         let batch = self.batches;
         self.batches += 1;
         if let Some(journal) = &mut self.journal {
@@ -290,7 +331,7 @@ impl Engine {
 
     /// Jobs currently scheduled, across all shards.
     pub fn active_count(&self) -> usize {
-        self.shards.iter().map(|s| s.active_count()).sum()
+        self.shards.iter().map(|s| lock(s).active_count()).sum()
     }
 
     /// Completed flushes.
@@ -316,6 +357,7 @@ impl Engine {
             .shards
             .iter()
             .flat_map(|s| {
+                let s = lock(s);
                 s.snapshot()
                     .iter()
                     .map(|(id, p)| (id, s.id(), p))
@@ -330,8 +372,12 @@ impl Engine {
     /// the headline numbers).
     pub fn total_costs(&self) -> Costs {
         Costs {
-            reallocations: self.shards.iter().map(|s| s.total_reallocations()).sum(),
-            migrations: self.shards.iter().map(|s| s.total_migrations()).sum(),
+            reallocations: self
+                .shards
+                .iter()
+                .map(|s| lock(s).total_reallocations())
+                .sum(),
+            migrations: self.shards.iter().map(|s| lock(s).total_migrations()).sum(),
         }
     }
 }

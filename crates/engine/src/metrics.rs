@@ -9,6 +9,7 @@
 //! maximum).
 
 use crate::shard::Shard;
+use std::sync::{Arc, Mutex};
 
 /// Direct buckets of [`CostHistogram`]: exact counts for costs
 /// `0..DIRECT_BUCKETS`, one overflow bucket above.
@@ -169,24 +170,26 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Builds a snapshot from the engine's shards.
-    pub(crate) fn collect(shards: &[Shard]) -> Metrics {
+    /// Builds a snapshot from the engine's shard cells (each shard is
+    /// locked once, briefly — metrics reads never overlap a flush).
+    pub(crate) fn collect(shards: &[Arc<Mutex<Shard>>]) -> Metrics {
+        let mut union = CostHistogram::new();
         let rows: Vec<ShardMetrics> = shards
             .iter()
-            .map(|s| ShardMetrics {
-                shard: s.id(),
-                requests: s.requests(),
-                failed: s.failed_count(),
-                active_jobs: s.active_count() as u64,
-                reallocations: s.total_reallocations(),
-                migrations: s.total_migrations(),
-                cost: CostPercentiles::of(s.cost_histogram()),
+            .map(|s| {
+                let s = crate::lock(s);
+                union.merge(s.cost_histogram());
+                ShardMetrics {
+                    shard: s.id(),
+                    requests: s.requests(),
+                    failed: s.failed_count(),
+                    active_jobs: s.active_count() as u64,
+                    reallocations: s.total_reallocations(),
+                    migrations: s.total_migrations(),
+                    cost: CostPercentiles::of(s.cost_histogram()),
+                }
             })
             .collect();
-        let mut union = CostHistogram::new();
-        for s in shards {
-            union.merge(s.cost_histogram());
-        }
         Metrics {
             requests: rows.iter().map(|r| r.requests).sum(),
             failed: rows.iter().map(|r| r.failed).sum(),

@@ -1,9 +1,10 @@
 //! A single engine shard: one backend, one ingress queue, one stats block.
 //!
-//! Shards are fully independent — no shared mutable state — so a batch
-//! flush can drain all of them concurrently with plain disjoint
-//! `&mut Shard` borrows (see [`crate::Engine::flush`]). The queue is a
-//! single-producer (the router) / single-consumer (the drain)
+//! Shards are fully independent — no shared scheduling state — so a
+//! batch flush can drain all of them concurrently; the engine parks each
+//! shard in an `Arc<Mutex<_>>` cell owned jointly with its persistent
+//! drain worker (see [`crate::pool`] and [`crate::Engine::flush`]). The
+//! queue is a single-producer (the router) / single-consumer (the drain)
 //! [`VecDeque`]; the design deliberately keeps each request's entire
 //! lifetime on one shard so a lock-free MPSC ring can replace the queue
 //! without touching scheduling logic. Telemetry is O(1) per request and
@@ -12,8 +13,9 @@
 use crate::backend::{BackendKind, BoxedBackend};
 use crate::journal::{Costs, ErrCode, ReqResult};
 use crate::metrics::CostHistogram;
+use fxhash::FxHashMap;
 use realloc_core::{JobId, Request, Window};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One independent scheduling shard.
 pub struct Shard {
@@ -21,7 +23,9 @@ pub struct Shard {
     backend: BoxedBackend,
     queue: VecDeque<Request>,
     /// Active jobs with their original windows (tenant-resolved ids).
-    active: BTreeMap<JobId, Window>,
+    /// FxHash: touched once per request; only point lookups, never
+    /// order-sensitive iteration.
+    active: FxHashMap<JobId, Window>,
     /// Per-request reallocation-cost distribution (bounded memory).
     hist: CostHistogram,
     requests: u64,
@@ -74,7 +78,7 @@ impl Shard {
             id,
             backend: kind.build(machines),
             queue: VecDeque::new(),
-            active: BTreeMap::new(),
+            active: FxHashMap::default(),
             hist: CostHistogram::new(),
             requests: 0,
             reallocations: 0,

@@ -143,6 +143,12 @@ proptest! {
             let mut cfg = config(shards, BackendKind::Reservation);
             cfg.parallel = parallel;
             let mut e = Engine::new(cfg);
+            if parallel {
+                // Exercise the real worker pool even on single-core CI
+                // hosts, where the engine would otherwise drain inline.
+                e.force_parallel_pool();
+                assert!(e.uses_pool());
+            }
             let (ok, failed) = e.ingest(&seq, 128);
             (e, ok, failed)
         };
@@ -164,6 +170,13 @@ proptest! {
         prop_assert_eq!(
             par_engine.journal().unwrap().events(),
             seq_engine.journal().unwrap().events()
+        );
+        // Stronger than event equality: the serialized journals are
+        // byte-identical — a pool-drained engine is indistinguishable
+        // from a sequential one even at the recording layer.
+        prop_assert_eq!(
+            par_engine.journal().unwrap().to_text(),
+            seq_engine.journal().unwrap().to_text()
         );
     }
 
@@ -190,6 +203,52 @@ proptest! {
         prop_assert_eq!(replayed.placements(), engine.placements());
         prop_assert_eq!(replayed.total_costs(), engine.total_costs());
     }
+}
+
+#[test]
+fn pool_flushes_journal_byte_identical_to_sequential() {
+    // Deterministic multi-batch run with interleaved failures
+    // (duplicates, unknown deletes): the pool-drained journal must be
+    // byte-for-byte the sequential journal, across every batch boundary.
+    let stream: Vec<Request> = (0..400u64)
+        .map(|i| match i % 5 {
+            0..=2 => Request::Insert {
+                id: JobId(i / 5 * 3 + i % 5),
+                window: Window::new((i % 8) * 512, (i % 8) * 512 + 512),
+            },
+            3 => Request::Insert {
+                id: JobId(i / 5 * 3), // duplicate → rejected, journaled
+                window: Window::new(0, 512),
+            },
+            _ => Request::Delete {
+                id: JobId(if i % 10 == 4 { i / 5 * 3 } else { 999_999 + i }),
+            },
+        })
+        .collect();
+    let run = |parallel: bool| {
+        let mut e = Engine::new(config(8, BackendKind::TheoremOne { gamma: 8 }));
+        if parallel {
+            e.force_parallel_pool();
+            assert!(e.uses_pool());
+        }
+        for chunk in stream.chunks(64) {
+            for &r in chunk {
+                e.submit(r);
+            }
+            e.flush();
+        }
+        e
+    };
+    let sequential = run(false);
+    let pooled = run(true);
+    assert!(!sequential.uses_pool());
+    assert_eq!(
+        pooled.journal().unwrap().to_text(),
+        sequential.journal().unwrap().to_text(),
+        "pool drain must be byte-identical at the journal layer"
+    );
+    assert_eq!(pooled.placements(), sequential.placements());
+    assert_eq!(pooled.batches(), sequential.batches());
 }
 
 #[test]

@@ -1,12 +1,12 @@
 //! The full Theorem-1 pipeline: align → delegate → per-machine backend.
 
+use fxhash::{FxHashMap, FxHashSet};
 use realloc_core::cost::Placement;
 use realloc_core::{
     Error, JobId, Move, Reallocator, RequestOutcome, ScheduleSnapshot, SingleMachineReallocator,
     Window,
 };
 use realloc_reservation::TrimmedScheduler;
-use std::collections::{HashMap, HashSet};
 
 /// Per-effective-window delegation bookkeeping (paper §3).
 #[derive(Clone, Debug)]
@@ -18,8 +18,13 @@ struct WindowGroup {
     /// machine still holds `⌊n_W/m⌋` or `⌈n_W/m⌉` jobs of the window)
     /// while balancing *aggregate* load across windows.
     start: usize,
-    /// Which jobs of this window live on each machine.
-    per_machine: Vec<HashSet<JobId>>,
+    /// Which jobs of this window live on each machine. FxHash keeps the
+    /// iteration order (and therefore the §3 migration-victim choice on
+    /// delete) deterministic across engine instances — journal replay and
+    /// the parallel-vs-sequential equivalence guarantees depend on that;
+    /// `std`'s per-instance `RandomState` could pick different victims in
+    /// two engines fed the same stream.
+    per_machine: Vec<FxHashSet<JobId>>,
 }
 
 impl WindowGroup {
@@ -30,7 +35,7 @@ impl WindowGroup {
         WindowGroup {
             count: 0,
             start: (h.finish() % machines as u64) as usize,
-            per_machine: vec![HashSet::new(); machines],
+            per_machine: vec![FxHashSet::default(); machines],
         }
     }
 
@@ -54,8 +59,8 @@ struct JobInfo {
 #[derive(Clone, Debug)]
 pub struct ReallocatingScheduler<B> {
     machines: Vec<B>,
-    windows: HashMap<Window, WindowGroup>,
-    jobs: HashMap<JobId, JobInfo>,
+    windows: FxHashMap<Window, WindowGroup>,
+    jobs: FxHashMap<JobId, JobInfo>,
 }
 
 /// The paper's headline configuration: reservation scheduler with `n*`
@@ -79,8 +84,8 @@ impl<B: SingleMachineReallocator> ReallocatingScheduler<B> {
         assert!(!machines.is_empty(), "need at least one machine");
         ReallocatingScheduler {
             machines,
-            windows: HashMap::new(),
-            jobs: HashMap::new(),
+            windows: FxHashMap::default(),
+            jobs: FxHashMap::default(),
         }
     }
 

@@ -166,7 +166,9 @@ impl ReservationScheduler {
                 );
             }
 
-            // 4: lower_occ exactness.
+            // 4: lower_occ exactness, and occupancy-index (`phys_occ`)
+            // exactness: every record's index holds precisely the
+            // physically occupied slots of its interval, at every level.
             let mut expected_lower: HashMap<u64, HashSet<u64>> = HashMap::new();
             for rec in self.jobs.values() {
                 if rec.level < level {
@@ -176,6 +178,13 @@ impl ReservationScheduler {
                         .insert(rec.slot);
                 }
             }
+            let mut expected_phys: HashMap<u64, HashSet<u64>> = HashMap::new();
+            for &slot in self.slot_jobs.keys() {
+                expected_phys
+                    .entry(slot - slot % ispan)
+                    .or_default()
+                    .insert(slot);
+            }
             for (&istart, ist) in &lvl.intervals {
                 let expected = expected_lower.remove(&istart).unwrap_or_default();
                 let actual: HashSet<u64> = ist.lower_occ.iter().copied().collect();
@@ -183,8 +192,14 @@ impl ReservationScheduler {
                     actual == expected,
                     "level {level} interval {istart}: lower_occ {actual:?} != occupancy {expected:?}"
                 );
+                let expected = expected_phys.remove(&istart).unwrap_or_default();
+                let actual: HashSet<u64> = ist.phys_occ.iter().copied().collect();
                 ensure!(
-                    !ist.lower_occ.is_empty(),
+                    actual == expected,
+                    "level {level} interval {istart}: phys_occ {actual:?} != occupancy {expected:?}"
+                );
+                ensure!(
+                    !ist.is_empty(),
                     "level {level} interval {istart}: empty record not pruned"
                 );
             }
@@ -192,6 +207,11 @@ impl ReservationScheduler {
                 expected_lower.is_empty(),
                 "level {level}: intervals {:?} with lower occupancy have no record",
                 expected_lower.keys().collect::<Vec<_>>()
+            );
+            ensure!(
+                expected_phys.is_empty(),
+                "level {level}: occupied intervals {:?} missing from the occupancy index",
+                expected_phys.keys().collect::<Vec<_>>()
             );
 
             // 5 + 6: per-interval quota bounds.

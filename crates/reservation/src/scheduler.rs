@@ -40,18 +40,35 @@
 //!
 //! Spans `≤ L₁` (level 0) have no reservation machinery; they use the
 //! constant-depth pecking-order cascade in [`crate::base`].
+//!
+//! # Hot-path engineering
+//!
+//! The steady-state request path performs **no heap allocation** beyond
+//! the returned move list: every intermediate buffer rebalance and quota
+//! computation need lives in a [`Scratch`] block owned by the scheduler
+//! and reused across requests (taken/restored around each rebalance so
+//! the rare recursive hunt still works). Free-slot discovery walks the
+//! gaps of the per-interval occupancy index
+//! ([`crate::state::IntervalState::phys_occ`]) instead of probing all
+//! `L_ℓ` slots of an interval against the global slot map, and all
+//! point-lookup maps use the deterministic FxHash shim instead of
+//! SipHash. None of this changes observable behaviour — the frozen seed
+//! copy in `tests/seed_equivalence.rs` pins that down.
 
-use crate::quota::{fulfilled_quotas, positions_gained, positions_lost, reservation_count, Demand};
+use crate::quota::{
+    fulfilled_quotas_into, positions_gained, positions_lost, reservation_count, Demand,
+};
 use crate::state::{JobRec, Level};
+use fxhash::FxHashMap;
 use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Tower, Window};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Maximum admissible window end: keeping the axis inside `[0, 2^63)`
 /// guarantees aligned-parent and interval arithmetic never overflows.
 pub const MAX_TIME: u64 = 1 << 63;
 
 /// Deferred consequences of a mutation, processed FIFO.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum Task {
     /// Re-establish `interval`'s assignments against recomputed quotas.
     Rebalance {
@@ -73,6 +90,33 @@ pub(crate) enum Task {
     },
 }
 
+/// Reusable buffers for the request hot path. Owned by the scheduler and
+/// taken/restored around each rebalance, so steady-state inserts and
+/// deletes allocate nothing beyond the returned move list.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Scratch {
+    /// Chain windows with their fulfilled quotas (`quotas_into` output).
+    targets: Vec<(Window, u64)>,
+    /// Reservation demands fed to the Observation 7 fulfillment rule.
+    demands: Vec<Demand>,
+    /// Fulfilled quota per demand (same order).
+    quotas: Vec<u64>,
+    /// Assignments that fell out of the allowance (rebalance phase 0).
+    invalid: Vec<Slot>,
+    /// One window's assignments in the interval (rebalance phase 1).
+    cur: Vec<(Slot, Option<JobId>)>,
+    /// Sorted: lower-occupied ∪ assigned slots (rebalance phase 2).
+    taken: Vec<Slot>,
+    /// Sorted: `taken` ∪ physically occupied (rebalance phase 2).
+    blocked: Vec<Slot>,
+    /// Residual per-window demand after the free-slot pass.
+    needs: Vec<u64>,
+    /// Occupied-but-unassigned slots (phase 2 fallback pool).
+    spare: Vec<Slot>,
+    /// The FIFO worklist, reused across requests.
+    work: VecDeque<Task>,
+}
+
 /// Single-machine reservation scheduler for recursively aligned windows
 /// (paper §4). Implements [`SingleMachineReallocator`].
 ///
@@ -82,11 +126,13 @@ pub(crate) enum Task {
 pub struct ReservationScheduler {
     pub(crate) tower: Tower,
     /// Active jobs.
-    pub(crate) jobs: HashMap<JobId, JobRec>,
+    pub(crate) jobs: FxHashMap<JobId, JobRec>,
     /// Physical occupancy: slot → job.
-    pub(crate) slot_jobs: HashMap<Slot, JobId>,
+    pub(crate) slot_jobs: FxHashMap<Slot, JobId>,
     /// Per-level window/interval state; index = level.
     pub(crate) levels: Vec<Level>,
+    /// Hot-path buffers (no observable state).
+    pub(crate) scratch: Scratch,
 }
 
 impl ReservationScheduler {
@@ -100,9 +146,10 @@ impl ReservationScheduler {
         let n = tower.max_levels();
         ReservationScheduler {
             tower,
-            jobs: HashMap::new(),
-            slot_jobs: HashMap::new(),
+            jobs: FxHashMap::default(),
+            slot_jobs: FxHashMap::default(),
             levels: (0..n).map(|_| Level::default()).collect(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -138,7 +185,16 @@ impl ReservationScheduler {
     /// The chain of windows containing the interval at `istart` (all spans
     /// up to the level's high-water mark), sorted by span ascending, with
     /// their fulfilled quotas in this interval. Pure (Observation 7).
-    pub(crate) fn quotas_at(&self, level: usize, istart: Slot) -> Vec<(Window, u64)> {
+    /// Writes into the caller's buffers (`demands`/`quotas` are working
+    /// storage) — the hot path calls this once per rebalanced interval.
+    pub(crate) fn quotas_into(
+        &self,
+        level: usize,
+        istart: Slot,
+        out: &mut Vec<(Window, u64)>,
+        demands: &mut Vec<Demand>,
+        quotas: &mut Vec<u64>,
+    ) {
         let ispan = self.ispan(level);
         let lvl = &self.levels[level];
         let lower = lvl
@@ -148,21 +204,73 @@ impl ReservationScheduler {
             .unwrap_or(0);
         let allowance = ispan - lower;
 
-        let mut chain: Vec<Window> = Vec::new();
-        let mut demands: Vec<Demand> = Vec::new();
+        out.clear();
+        demands.clear();
         for span in lvl.chain_spans(ispan) {
             let w = Window::aligned_enclosing(istart, span);
             let x = lvl.windows.get(&w).map(|ws| ws.x).unwrap_or(0);
             let ni = span / ispan;
             let pos = (istart - w.start()) / ispan;
-            chain.push(w);
+            out.push((w, 0));
             demands.push(Demand {
                 span,
                 reservations: reservation_count(x, ni, pos),
             });
         }
-        let quotas = fulfilled_quotas(&demands, allowance);
-        chain.into_iter().zip(quotas).collect()
+        fulfilled_quotas_into(demands, allowance, quotas);
+        for (t, &q) in out.iter_mut().zip(quotas.iter()) {
+            t.1 = q;
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::quotas_into`]
+    /// (invariant checks, probes — not the request path).
+    pub(crate) fn quotas_at(&self, level: usize, istart: Slot) -> Vec<(Window, u64)> {
+        let mut out = Vec::new();
+        let mut demands = Vec::new();
+        let mut quotas = Vec::new();
+        self.quotas_into(level, istart, &mut out, &mut demands, &mut quotas);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Occupancy index maintenance
+    // ------------------------------------------------------------------
+
+    /// Records that `slot` became physically occupied: enters the
+    /// occupancy index of its enclosing interval at every level.
+    fn note_occupied(&mut self, slot: Slot) {
+        for lvl in 1..self.levels.len() {
+            let span = self.tower.interval_span(lvl);
+            let istart = slot - slot % span;
+            let inserted = self.levels[lvl]
+                .intervals
+                .entry(istart)
+                .or_default()
+                .phys_occ
+                .insert(slot);
+            debug_assert!(inserted, "slot {slot} double-entered the index at {lvl}");
+        }
+    }
+
+    /// Records that `slot` became physically free: leaves every level's
+    /// occupancy index, pruning interval records that carry nothing else.
+    fn note_freed(&mut self, slot: Slot) {
+        for lvl in 1..self.levels.len() {
+            let span = self.tower.interval_span(lvl);
+            let istart = slot - slot % span;
+            let mut emptied = false;
+            if let Some(rec) = self.levels[lvl].intervals.get_mut(&istart) {
+                let had = rec.phys_occ.remove(&slot);
+                debug_assert!(had, "freed slot {slot} missing from the index at {lvl}");
+                emptied = rec.is_empty();
+            } else {
+                debug_assert!(false, "interval of an occupied slot must be materialized");
+            }
+            if emptied {
+                self.levels[lvl].intervals.remove(&istart);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -206,31 +314,56 @@ impl ReservationScheduler {
         istart: Slot,
         moves: &mut Vec<SlotMove>,
     ) -> Result<(), Error> {
+        // Take the scratch block so the borrow checker lets the buffers
+        // live across `&mut self` calls. A recursive rebalance (MOVE →
+        // hunt) sees — and leaves behind — a default block; only the
+        // outermost frame keeps the warmed buffers.
+        let mut sc = std::mem::take(&mut self.scratch);
+        let result = self.rebalance_inner(level, istart, moves, &mut sc);
+        self.scratch = sc;
+        result
+    }
+
+    fn rebalance_inner(
+        &mut self,
+        level: usize,
+        istart: Slot,
+        moves: &mut Vec<SlotMove>,
+        sc: &mut Scratch,
+    ) -> Result<(), Error> {
         let ispan = self.ispan(level);
         let iw = Window::with_span(istart, ispan);
-        let targets = self.quotas_at(level, istart);
+        self.quotas_into(
+            level,
+            istart,
+            &mut sc.targets,
+            &mut sc.demands,
+            &mut sc.quotas,
+        );
 
         // Phase 0 + 1: per window, drop invalid assignments and shed excess.
-        for &(w, quota) in &targets {
+        for &(w, quota) in &sc.targets {
             if !self.levels[level].windows.contains_key(&w) {
                 continue;
             }
-            let invalid: Vec<Slot> = {
+            sc.invalid.clear();
+            {
                 let lvl = &self.levels[level];
                 let ws = &lvl.windows[&w];
                 let occ = lvl.intervals.get(&istart);
-                ws.assigned_in(iw)
-                    .filter(|(s, _)| occ.is_some_and(|i| i.lower_occ.contains(s)))
-                    .map(|(s, j)| {
-                        debug_assert!(
-                            j.is_none(),
-                            "lower-occupied slot {s} still holds a level-{level} job"
-                        );
-                        s
-                    })
-                    .collect()
-            };
-            for s in invalid {
+                sc.invalid.extend(
+                    ws.assigned_in(iw)
+                        .filter(|(s, _)| occ.is_some_and(|i| i.lower_occ.contains(s)))
+                        .map(|(s, j)| {
+                            debug_assert!(
+                                j.is_none(),
+                                "lower-occupied slot {s} still holds a level-{level} job"
+                            );
+                            s
+                        }),
+                );
+            }
+            for &s in &sc.invalid {
                 self.levels[level]
                     .windows
                     .get_mut(&w)
@@ -238,15 +371,16 @@ impl ReservationScheduler {
                     .remove_assignment(s);
             }
 
-            let cur: Vec<(Slot, Option<JobId>)> =
-                self.levels[level].windows[&w].assigned_in(iw).collect();
-            let excess = (cur.len() as u64).saturating_sub(quota);
+            sc.cur.clear();
+            sc.cur
+                .extend(self.levels[level].windows[&w].assigned_in(iw));
+            let excess = (sc.cur.len() as u64).saturating_sub(quota);
             if excess == 0 {
                 continue;
             }
             // Shed empty assignments first; then MOVE jobs off the rest.
             let mut shed = 0u64;
-            for &(s, _) in cur.iter().filter(|(_, o)| o.is_none()) {
+            for &(s, _) in sc.cur.iter().filter(|(_, o)| o.is_none()) {
                 if shed == excess {
                     break;
                 }
@@ -258,7 +392,7 @@ impl ReservationScheduler {
                 shed += 1;
             }
             if shed < excess {
-                for &(s, occ) in cur.iter().filter(|(_, o)| o.is_some()) {
+                for &(s, occ) in sc.cur.iter().filter(|(_, o)| o.is_some()) {
                     if shed == excess {
                         break;
                     }
@@ -276,62 +410,106 @@ impl ReservationScheduler {
         }
 
         // Phase 2: claim free allowance slots for under-quota windows.
-        // `taken` = lower-occupied ∪ currently assigned (by any chain window).
-        let mut taken: BTreeSet<Slot> = self.levels[level]
-            .intervals
-            .get(&istart)
-            .map(|i| i.lower_occ.iter().copied().collect())
-            .unwrap_or_default();
-        for &(w, _) in &targets {
-            if let Some(ws) = self.levels[level].windows.get(&w) {
-                for (s, _) in ws.assigned_in(iw) {
-                    taken.insert(s);
+        // `taken` = lower-occupied ∪ currently assigned (by any chain
+        // window); `blocked` additionally unions the interval's occupancy
+        // index, so free slots are exactly the gaps of `blocked` — no
+        // per-slot probing of the global slot map.
+        sc.taken.clear();
+        sc.blocked.clear();
+        {
+            let lvl = &self.levels[level];
+            if let Some(ist) = lvl.intervals.get(&istart) {
+                sc.taken.extend(ist.lower_occ.iter().copied());
+            }
+            for &(w, _) in &sc.targets {
+                if let Some(ws) = lvl.windows.get(&w) {
+                    sc.taken.extend(ws.assigned_in(iw).map(|(s, _)| s));
                 }
             }
+            sc.taken.sort_unstable();
+            // Sorted merge (dedup) of `taken` and the occupancy index.
+            let mut ti = 0usize;
+            if let Some(ist) = lvl.intervals.get(&istart) {
+                for &p in &ist.phys_occ {
+                    while ti < sc.taken.len() && sc.taken[ti] < p {
+                        sc.blocked.push(sc.taken[ti]);
+                        ti += 1;
+                    }
+                    if ti < sc.taken.len() && sc.taken[ti] == p {
+                        ti += 1;
+                    }
+                    sc.blocked.push(p);
+                }
+            }
+            sc.blocked.extend_from_slice(&sc.taken[ti..]);
         }
-        for &(w, quota) in &targets {
+
+        // Phase 2a: hand the free gaps to windows in chain order. The
+        // cursor never revisits a slot, which matches the seed's
+        // scan-from-the-left with a shared `taken` set.
+        sc.needs.clear();
+        let iend = istart + ispan;
+        let mut free_cursor = istart;
+        let mut bi = 0usize;
+        for &(w, quota) in &sc.targets {
             let cur = self.levels[level]
                 .windows
                 .get(&w)
                 .map(|ws| ws.assigned_in(iw).count() as u64)
                 .unwrap_or(0);
             let mut needed = quota.saturating_sub(cur);
-            if needed == 0 {
-                continue;
-            }
-            // Prefer physically free slots, then slots under higher-level
-            // jobs (assignment ≠ occupancy; PLACE displaces on use).
-            for s in iw.slots() {
-                if needed == 0 {
-                    break;
-                }
-                if taken.contains(&s) || self.slot_jobs.contains_key(&s) {
+            while needed > 0 && free_cursor < iend {
+                if bi < sc.blocked.len() && sc.blocked[bi] == free_cursor {
+                    free_cursor += 1;
+                    bi += 1;
                     continue;
                 }
-                taken.insert(s);
                 self.levels[level]
                     .windows
                     .entry(w)
                     .or_default()
-                    .add_assignment(s);
+                    .add_assignment(free_cursor);
+                free_cursor += 1;
                 needed -= 1;
             }
-            for s in iw.slots() {
-                if needed == 0 {
-                    break;
+            sc.needs.push(needed);
+        }
+
+        // Phase 2b: residual demand falls back to occupied-but-unassigned
+        // slots (assignment ≠ occupancy; PLACE displaces on use). This can
+        // only happen once every free slot in the interval is spoken for,
+        // so the candidates are exactly `phys_occ \ taken`, left to right.
+        if sc.needs.iter().any(|&n| n > 0) {
+            sc.spare.clear();
+            {
+                let lvl = &self.levels[level];
+                if let Some(ist) = lvl.intervals.get(&istart) {
+                    let mut ti = 0usize;
+                    for &p in &ist.phys_occ {
+                        while ti < sc.taken.len() && sc.taken[ti] < p {
+                            ti += 1;
+                        }
+                        if ti < sc.taken.len() && sc.taken[ti] == p {
+                            continue;
+                        }
+                        sc.spare.push(p);
+                    }
                 }
-                if taken.contains(&s) {
-                    continue;
-                }
-                taken.insert(s);
-                self.levels[level]
-                    .windows
-                    .entry(w)
-                    .or_default()
-                    .add_assignment(s);
-                needed -= 1;
             }
-            debug_assert_eq!(needed, 0, "quota exceeds free capacity in interval");
+            let mut si = 0usize;
+            for (idx, &(w, _)) in sc.targets.iter().enumerate() {
+                let mut needed = sc.needs[idx];
+                while needed > 0 && si < sc.spare.len() {
+                    self.levels[level]
+                        .windows
+                        .entry(w)
+                        .or_default()
+                        .add_assignment(sc.spare[si]);
+                    si += 1;
+                    needed -= 1;
+                }
+                debug_assert_eq!(needed, 0, "quota exceeds free capacity in interval");
+            }
         }
         Ok(())
     }
@@ -380,6 +558,8 @@ impl ReservationScheduler {
                     "occupant of a fulfilled slot must be higher-level"
                 );
                 // h hops target -> s; its own fulfilled slot re-points.
+                // Both slots stay occupied, so the occupancy index is
+                // untouched.
                 self.slot_jobs.insert(s, h);
                 self.jobs.get_mut(&h).unwrap().slot = s;
                 let hws = self.levels[hrec.level]
@@ -436,6 +616,13 @@ impl ReservationScheduler {
                 ws2.add_assignment(s);
             }
         }
+
+        // Occupancy index: with a hopper both slots stay occupied; without
+        // one the job's move frees `s` and claims `target`.
+        if hopper.is_none() {
+            self.note_occupied(target);
+            self.note_freed(s);
+        }
         Ok(())
     }
 
@@ -489,6 +676,10 @@ impl ReservationScheduler {
                 .vacate(slot);
             (h, hrec)
         });
+        if displaced.is_none() {
+            // Newly occupied (a displacement keeps the slot occupied).
+            self.note_occupied(slot);
+        }
         self.jobs.insert(
             job,
             JobRec {
@@ -552,18 +743,16 @@ impl ReservationScheduler {
         });
         for lvl2 in (level + 1)..self.levels.len() {
             let istart = self.interval_of(lvl2, slot);
-            let mut emptied = false;
             if let Some(rec) = self.levels[lvl2].intervals.get_mut(&istart) {
                 let had = rec.lower_occ.remove(&slot);
                 debug_assert!(had, "occupied slot unrecorded at ancestor level {lvl2}");
-                emptied = rec.lower_occ.is_empty();
             } else {
                 debug_assert!(false, "ancestor interval of an occupied slot must exist");
             }
-            if emptied {
-                self.levels[lvl2].intervals.remove(&istart);
-            }
         }
+        // Occupancy index update + pruning of now-empty records (covers
+        // the `lower_occ` removals above too).
+        self.note_freed(slot);
     }
 
     // ------------------------------------------------------------------
@@ -783,27 +972,35 @@ impl SingleMachineReallocator for ReservationScheduler {
         }
         let level = self.tower.level_of(window.span());
         let mut moves = Vec::new();
-        let mut work = VecDeque::new();
+        // Reuse the pooled worklist (failed cascades may leave tasks
+        // behind; clear before restoring).
+        let mut work = std::mem::take(&mut self.scratch.work);
+        debug_assert!(work.is_empty());
         let result = if level == 0 {
             self.insert_base(id, window, &mut moves, &mut work)
                 .and_then(|()| self.drain(&mut work, &mut moves))
         } else {
             self.insert_leveled(id, window, level, &mut moves, &mut work)
         };
+        work.clear();
+        self.scratch.work = work;
         result.map(|()| moves)
     }
 
     fn delete(&mut self, id: JobId) -> Result<Vec<SlotMove>, Error> {
         let rec = *self.jobs.get(&id).ok_or(Error::UnknownJob(id))?;
         let mut moves = Vec::new();
-        let mut work = VecDeque::new();
-        if rec.level == 0 {
+        let mut work = std::mem::take(&mut self.scratch.work);
+        debug_assert!(work.is_empty());
+        let result = if rec.level == 0 {
             self.delete_base(id, rec, &mut moves);
-            self.drain(&mut work, &mut moves)?;
+            self.drain(&mut work, &mut moves)
         } else {
-            self.delete_leveled(id, rec, &mut moves, &mut work)?;
-        }
-        Ok(moves)
+            self.delete_leveled(id, rec, &mut moves, &mut work)
+        };
+        work.clear();
+        self.scratch.work = work;
+        result.map(|()| moves)
     }
 
     fn slot_of(&self, id: JobId) -> Option<Slot> {

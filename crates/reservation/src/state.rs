@@ -10,8 +10,9 @@
 //!   `allowance(I)`), and
 //! * where each job physically sits.
 
+use fxhash::FxHashMap;
 use realloc_core::{JobId, Slot, Window};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Bookkeeping for one active job.
 #[derive(Clone, Copy, Debug)]
@@ -87,13 +88,29 @@ impl WindowState {
 }
 
 /// Per-interval state at levels `≥ 1`. An interval with no record behaves
-/// as `lower_occ = ∅` (full allowance) and no fulfilled reservations — the
-/// "never touched" case, whose fulfillment is claimed lazily.
+/// as `lower_occ = ∅` (full allowance), no physical occupancy, and no
+/// fulfilled reservations — the "never touched" case, whose fulfillment
+/// is claimed lazily.
 #[derive(Clone, Debug, Default)]
 pub struct IntervalState {
     /// Slots occupied by jobs of strictly lower levels. The paper's
     /// `allowance(I)` is the complement within the interval.
     pub lower_occ: BTreeSet<Slot>,
+    /// Occupancy index: **every** physically occupied slot in this
+    /// interval, regardless of the occupant's level (`lower_occ ⊆
+    /// phys_occ`). Maintained by the scheduler on each physical
+    /// occupy/free; lets rebalance walk the interval's *free* slots as
+    /// gaps of a sorted set instead of probing all `L_ℓ` slots against
+    /// the global slot→job map.
+    pub phys_occ: BTreeSet<Slot>,
+}
+
+impl IntervalState {
+    /// `true` when the record carries no information and can be pruned
+    /// (absent records mean full allowance and no occupancy).
+    pub fn is_empty(&self) -> bool {
+        self.lower_occ.is_empty() && self.phys_occ.is_empty()
+    }
 }
 
 /// All state of one scheduler level.
@@ -109,10 +126,11 @@ pub struct IntervalState {
 pub struct Level {
     /// Window states: job counts and fulfilled-reservation slots. Entries
     /// persist after their last job leaves (standing reservations remain).
-    pub windows: HashMap<Window, WindowState>,
+    /// FxHash: keys are scheduler-internal, hashed on every quota lookup.
+    pub windows: FxHashMap<Window, WindowState>,
     /// Materialized intervals, keyed by interval start. An absent entry
-    /// means no lower-level occupancy (full allowance).
-    pub intervals: HashMap<Slot, IntervalState>,
+    /// means no occupancy at all (full allowance).
+    pub intervals: FxHashMap<Slot, IntervalState>,
     /// Largest window span ever inserted at this level (0 = level unused).
     pub high_water: u64,
 }

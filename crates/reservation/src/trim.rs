@@ -15,8 +15,8 @@
 //! deamortized even/odd-slot variant is [`crate::deamortized`].
 
 use crate::scheduler::ReservationScheduler;
+use fxhash::FxHashMap;
 use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Tower, Window};
-use std::collections::HashMap;
 
 /// Smallest `n*` we bother tracking; below this trimming is a no-op in
 /// practice and rebuild churn would dominate.
@@ -32,7 +32,7 @@ pub struct TrimmedScheduler {
     gamma: u64,
     n_star: u64,
     /// Original aligned windows, pre-trim (rebuilds re-trim from these).
-    originals: HashMap<JobId, Window>,
+    originals: FxHashMap<JobId, Window>,
     /// Number of full rebuilds performed (observability for experiments).
     rebuilds: u64,
 }
@@ -51,7 +51,7 @@ impl TrimmedScheduler {
             tower,
             gamma,
             n_star: MIN_N_STAR,
-            originals: HashMap::new(),
+            originals: FxHashMap::default(),
             rebuilds: 0,
         }
     }
@@ -85,7 +85,7 @@ impl TrimmedScheduler {
     /// every job whose slot changed.
     fn rebuild(&mut self, moves: &mut Vec<SlotMove>) -> Result<(), Error> {
         self.rebuilds += 1;
-        let old: HashMap<JobId, Slot> = self.inner.assignments().into_iter().collect();
+        let old: FxHashMap<JobId, Slot> = self.inner.assignments().into_iter().collect();
         let mut fresh = ReservationScheduler::with_tower(self.tower.clone());
         // Insert in span order: shorter windows first never displace
         // anything, so the rebuild itself is cascade-free.
