@@ -10,6 +10,8 @@
 //! Deletions cost nothing. This is the logarithmic baseline the
 //! reservation scheduler improves to `O(log* ·)`.
 
+use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Window};
 use std::collections::{BTreeMap, HashMap};
 
@@ -48,6 +50,64 @@ impl NaivePeckingScheduler {
             free = Some(expect);
         }
         (free, victim)
+    }
+}
+
+impl Restorable for NaivePeckingScheduler {
+    const SNAPSHOT_KIND: &'static str = "naive";
+
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        // The occupied map is the whole state; `jobs` is its inverse
+        // plus windows. One `j` line per job, in slot order.
+        for (&slot, &id) in &self.occupied {
+            let (win, _) = self.jobs[&id];
+            w.line(format_args!(
+                "j {} {} {} {slot}",
+                id.0,
+                win.start(),
+                win.end()
+            ));
+        }
+    }
+
+    fn read_state(node: &SnapshotNode) -> Result<Self, ParseError> {
+        node.expect_kind(Self::SNAPSHOT_KIND)?;
+        let mut s = NaivePeckingScheduler::new();
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            match f.token("op")? {
+                "j" => {
+                    let id = JobId(f.u64("job id")?);
+                    let start = f.u64("window start")?;
+                    let end = f.u64("window end")?;
+                    let slot = f.u64("slot")?;
+                    f.finish()?;
+                    if end <= start {
+                        return Err(f.err(format!("window end {end} must exceed start {start}")));
+                    }
+                    let win = Window::new(start, end);
+                    if !win.is_aligned() {
+                        return Err(f.err(format!("window {win} is not aligned")));
+                    }
+                    if !win.contains_slot(slot) {
+                        return Err(f.err(format!("job {id} at slot {slot} outside {win}")));
+                    }
+                    if s.jobs.insert(id, (win, slot)).is_some() {
+                        return Err(f.err(format!("duplicate job {id}")));
+                    }
+                    if let Some(prev) = s.occupied.insert(slot, id) {
+                        return Err(f.err(format!("slot {slot} held by both {prev} and {id}")));
+                    }
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unknown naive snapshot op '{other}'"),
+                    })
+                }
+            }
+        }
+        Ok(s)
     }
 }
 

@@ -1,12 +1,16 @@
-//! E13 bench — batched engine ingestion across shard counts.
+//! E13 bench — batched engine ingestion across shard counts, plus the
+//! durability story's headline number: cold genesis replay vs.
+//! checkpoint + tail recovery.
 //!
 //! One fixed churn workload (unaligned windows, γ = 8) is replayed
 //! through the engine at 1–16 shards, sequential and parallel flush, to
 //! seed the serving-layer perf trajectory. Results land in
-//! `BENCH_engine_ingest.json` (see the criterion shim's `BENCH_OUT_DIR`).
+//! `BENCH_engine_ingest.json`; the recovery comparison in
+//! `BENCH_engine_recovery.json` (see the criterion shim's
+//! `BENCH_OUT_DIR`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use realloc_engine::Engine;
+use realloc_engine::{BackendKind, Engine, Journal};
 use realloc_sim::harness::{churn_seq, engine_config};
 
 const REQUESTS: usize = 20_000;
@@ -52,9 +56,53 @@ fn bench_batch_size(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_recovery(c: &mut Criterion) {
+    // One journaled 100k-request run with periodic checkpoints, genesis
+    // retained so the same serialized journal supports both paths:
+    // `Journal::replay` re-services all 100k events from genesis;
+    // `Engine::recover` restores the latest checkpoint and replays only
+    // the tail. The acceptance bar — byte-identical placements and
+    // metrics between the two — is asserted before timing anything.
+    const REQUESTS: usize = 100_000;
+    const BATCH: usize = 256;
+    const CHECKPOINT_EVERY: usize = 50; // batches
+    let seq = churn_seq(8, 8, 512, 1 << 12, true, REQUESTS, 97);
+    let mut cfg = engine_config(8, 1, BackendKind::TheoremOne { gamma: 8 }, false);
+    cfg.journal = true;
+    cfg.retained_segments = usize::MAX;
+    let mut engine = Engine::new(cfg);
+    for (i, chunk) in seq.requests().chunks(BATCH).enumerate() {
+        for &r in chunk {
+            engine.submit(r);
+        }
+        engine.flush();
+        if (i + 1) % CHECKPOINT_EVERY == 0 {
+            engine.checkpoint();
+        }
+    }
+    let text = engine.journal().unwrap().to_text();
+
+    let cold = Journal::from_text(&text).unwrap().replay().unwrap();
+    let fast = Engine::recover(text.as_bytes()).unwrap();
+    assert_eq!(cold.placements(), engine.placements());
+    assert_eq!(fast.placements(), engine.placements());
+    assert_eq!(fast.metrics(), engine.metrics());
+    let tail = engine.journal().unwrap().tail_events().len();
+
+    let mut group = c.benchmark_group("engine_recovery");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    group.bench_function(BenchmarkId::new("cold_replay_events", REQUESTS), |b| {
+        b.iter(|| Journal::from_text(&text).unwrap().replay().unwrap())
+    });
+    group.bench_function(BenchmarkId::new("checkpoint_recover_tail", tail), |b| {
+        b.iter(|| Engine::recover(text.as_bytes()).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_ingest, bench_batch_size
+    targets = bench_engine_ingest, bench_batch_size, bench_recovery
 }
 criterion_main!(benches);

@@ -39,6 +39,7 @@ pub mod feasibility;
 pub mod job;
 pub mod request;
 pub mod schedule;
+pub mod snapshot;
 pub mod textio;
 pub mod tower;
 pub mod traits;
@@ -49,6 +50,7 @@ pub use error::Error;
 pub use job::{Job, JobId};
 pub use request::{Request, RequestSeq};
 pub use schedule::{ScheduleSnapshot, ValidationError};
+pub use snapshot::{Restorable, SnapshotNode, SnapshotWriter, SNAPSHOT_HEADER};
 pub use tower::{log_star, Tower};
 pub use traits::{Reallocator, SingleMachineReallocator};
 pub use window::Window;

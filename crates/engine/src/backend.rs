@@ -5,16 +5,159 @@
 //! over any single-machine scheduler, or a natively multi-machine
 //! baseline. [`BackendKind`] is the serializable selector (it also names
 //! backends on the `exp_engine_throughput` command line and inside
-//! journal headers); [`BackendKind::build`] instantiates the trait
-//! object.
+//! journal headers); [`BackendKind::build`] instantiates the [`Backend`].
+//!
+//! `Backend` is a closed enum rather than a trait object so the
+//! checkpoint layer gets static snapshot/restore dispatch: every variant
+//! is [`Restorable`], and [`Backend::read_state`] rebuilds the right
+//! variant from a [`BackendKind`] plus a parsed snapshot section —
+//! something a `Box<dyn Reallocator>` cannot offer without downcasting.
 
 use realloc_baselines::{EdfRescheduler, LlfRescheduler, NaivePeckingScheduler};
-use realloc_core::Reallocator;
+use realloc_core::snapshot::{Restorable, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
+use realloc_core::{Error, JobId, Reallocator, RequestOutcome, ScheduleSnapshot, Window};
 use realloc_multi::{ReallocatingScheduler, TheoremOneScheduler};
 use realloc_reservation::{DeamortizedScheduler, ReservationScheduler};
 
-/// A shard backend: any reallocating scheduler that can cross threads.
-pub type BoxedBackend = Box<dyn Reallocator + Send>;
+/// A shard backend: one of the closed set of schedulers a shard can run.
+/// All variants are `Send`, so shards still cross the worker-pool
+/// threads freely.
+#[allow(clippy::large_enum_variant)]
+pub enum Backend {
+    /// Raw reservation scheduler per machine (no trimming).
+    Reservation(ReallocatingScheduler<ReservationScheduler>),
+    /// Theorem 1: reservation + `n*` trimming per machine.
+    TheoremOne(TheoremOneScheduler),
+    /// Deamortized trimming per machine.
+    Deamortized(ReallocatingScheduler<DeamortizedScheduler>),
+    /// Lemma 4 naive pecking baseline per machine.
+    Naive(ReallocatingScheduler<NaivePeckingScheduler>),
+    /// EDF full-recompute baseline (natively multi-machine).
+    Edf(EdfRescheduler),
+    /// LLF full-recompute baseline (natively multi-machine).
+    Llf(LlfRescheduler),
+}
+
+macro_rules! each_backend {
+    ($self:expr, $b:ident => $body:expr) => {
+        match $self {
+            Backend::Reservation($b) => $body,
+            Backend::TheoremOne($b) => $body,
+            Backend::Deamortized($b) => $body,
+            Backend::Naive($b) => $body,
+            Backend::Edf($b) => $body,
+            Backend::Llf($b) => $body,
+        }
+    };
+}
+
+impl Reallocator for Backend {
+    fn machines(&self) -> usize {
+        each_backend!(self, b => b.machines())
+    }
+
+    fn insert(&mut self, id: JobId, window: Window) -> Result<RequestOutcome, Error> {
+        each_backend!(self, b => b.insert(id, window))
+    }
+
+    fn delete(&mut self, id: JobId) -> Result<RequestOutcome, Error> {
+        each_backend!(self, b => b.delete(id))
+    }
+
+    fn snapshot(&self) -> ScheduleSnapshot {
+        each_backend!(self, b => b.snapshot())
+    }
+
+    fn active_count(&self) -> usize {
+        each_backend!(self, b => b.active_count())
+    }
+
+    fn name(&self) -> &'static str {
+        each_backend!(self, b => b.name())
+    }
+}
+
+impl Backend {
+    /// Writes the backend's full state as a child section of the current
+    /// snapshot section (kind depends on the variant: `multi`, `edf`, or
+    /// `llf`).
+    pub fn write_state(&self, w: &mut SnapshotWriter) {
+        each_backend!(self, b => w.child(b))
+    }
+
+    /// Restores a backend of the given kind from its snapshot section
+    /// inside `parent`, validating that the recorded state matches the
+    /// selector (machine count, trim γ).
+    pub fn read_state(
+        kind: BackendKind,
+        machines: usize,
+        parent: &SnapshotNode,
+    ) -> Result<Backend, ParseError> {
+        fn section<T: Restorable>(parent: &SnapshotNode) -> Result<&SnapshotNode, ParseError> {
+            parent.only_child(T::SNAPSHOT_KIND)
+        }
+        let backend = match kind {
+            BackendKind::Reservation => {
+                Backend::Reservation(Restorable::read_state(section::<
+                    ReallocatingScheduler<ReservationScheduler>,
+                >(parent)?)?)
+            }
+            BackendKind::TheoremOne { gamma } => {
+                let s: TheoremOneScheduler =
+                    Restorable::read_state(section::<TheoremOneScheduler>(parent)?)?;
+                for m in 0..s.machines() {
+                    if s.backend(m).gamma() != gamma {
+                        return Err(ParseError {
+                            line: 0,
+                            message: format!(
+                                "machine {m} recorded gamma {} but the backend is theorem1:{gamma}",
+                                s.backend(m).gamma()
+                            ),
+                        });
+                    }
+                }
+                Backend::TheoremOne(s)
+            }
+            BackendKind::Deamortized { gamma } => {
+                let s: ReallocatingScheduler<DeamortizedScheduler> = Restorable::read_state(
+                    section::<ReallocatingScheduler<DeamortizedScheduler>>(parent)?,
+                )?;
+                for m in 0..s.machines() {
+                    if s.backend(m).gamma() != gamma {
+                        return Err(ParseError {
+                            line: 0,
+                            message: format!(
+                                "machine {m} recorded gamma {} but the backend is deamortized:{gamma}",
+                                s.backend(m).gamma()
+                            ),
+                        });
+                    }
+                }
+                Backend::Deamortized(s)
+            }
+            BackendKind::Naive => Backend::Naive(Restorable::read_state(section::<
+                ReallocatingScheduler<NaivePeckingScheduler>,
+            >(parent)?)?),
+            BackendKind::Edf => {
+                Backend::Edf(Restorable::read_state(section::<EdfRescheduler>(parent)?)?)
+            }
+            BackendKind::Llf => {
+                Backend::Llf(Restorable::read_state(section::<LlfRescheduler>(parent)?)?)
+            }
+        };
+        if backend.machines() != machines {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "backend snapshot has {} machines, the engine config says {machines}",
+                    backend.machines()
+                ),
+            });
+        }
+        Ok(backend)
+    }
+}
 
 /// Which scheduler a shard runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,26 +186,26 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Instantiates the backend on `machines` machines.
-    pub fn build(&self, machines: usize) -> BoxedBackend {
+    pub fn build(&self, machines: usize) -> Backend {
         match *self {
-            BackendKind::Reservation => Box::new(ReallocatingScheduler::from_factory(
+            BackendKind::Reservation => Backend::Reservation(ReallocatingScheduler::from_factory(
                 machines,
                 ReservationScheduler::new,
             )),
             BackendKind::TheoremOne { gamma } => {
-                Box::new(TheoremOneScheduler::theorem_one(machines, gamma))
+                Backend::TheoremOne(TheoremOneScheduler::theorem_one(machines, gamma))
             }
             BackendKind::Deamortized { gamma } => {
-                Box::new(ReallocatingScheduler::from_factory(machines, || {
+                Backend::Deamortized(ReallocatingScheduler::from_factory(machines, || {
                     DeamortizedScheduler::new(gamma)
                 }))
             }
-            BackendKind::Naive => Box::new(ReallocatingScheduler::from_factory(
+            BackendKind::Naive => Backend::Naive(ReallocatingScheduler::from_factory(
                 machines,
                 NaivePeckingScheduler::new,
             )),
-            BackendKind::Edf => Box::new(EdfRescheduler::new(machines)),
-            BackendKind::Llf => Box::new(LlfRescheduler::new(machines)),
+            BackendKind::Edf => Backend::Edf(EdfRescheduler::new(machines)),
+            BackendKind::Llf => Backend::Llf(LlfRescheduler::new(machines)),
         }
     }
 

@@ -1,28 +1,56 @@
-//! Append-only event journal with deterministic replay.
+//! Segmented event journal with checkpoint records and O(tail) recovery.
 //!
 //! Every flushed request is recorded together with its (netted) cost
 //! outcome. The text encoding extends the `realloc_core::textio` framing
-//! — one event per line, `#` comments ignored — with a config header so
-//! a journal is self-contained:
+//! — one record per line, `#` comments ignored — with a config header,
+//! **checkpoint records**, and an optional truncation marker (v2
+//! framing):
 //!
 //! ```text
-//! # realloc-engine journal v1
+//! # realloc-engine journal v2
 //! c 4 1 theorem1:8          # shards, machines/shard, backend
-//! b 0                       # batch boundary
+//! T 2 13107                 # 2 truncated segments (13107 events) precede
+//! s 40 13107 6812           # checkpoint: 40 batches, 13107 events before,
+//! # realloc snapshot v1     #   followed by 6812 verbatim snapshot lines
+//! !begin engine
+//! …
+//! !end
+//! b 40                      # batch boundary
 //! + 0 17 4 12 ok 1 0        # shard 0: insert j17 [4,12) → 1 realloc
 //! - 2 9 err capacity        # shard 2: delete j9 rejected
 //! ```
 //!
-//! [`Journal::replay`] rebuilds a fresh engine from the header, feeds the
-//! recorded requests through it batch by batch, and verifies that every
-//! outcome matches the recording — the determinism check behind crash
-//! recovery and shard migration (replaying a shard's stream reproduces
-//! its exact state).
+//! # Segments and checkpoints
+//!
+//! The journal is a sequence of *segments*. A segment starts either at
+//! genesis or at a checkpoint — a full [`crate::Engine`] snapshot
+//! (`realloc_core::snapshot` framing) taken between flushes by
+//! [`crate::Engine::checkpoint`] — and holds the events recorded until
+//! the next checkpoint seals it. Because a checkpoint makes every older
+//! segment redundant for recovery, sealed segments beyond
+//! [`crate::EngineConfig::retained_segments`] are dropped, which bounds
+//! the journal's memory instead of growing without bound from genesis.
+//!
+//! # Replay vs. recovery
+//!
+//! * [`Journal::replay`] — the audit path: rebuilds an engine from the
+//!   *earliest retained* state (genesis, or the oldest retained
+//!   checkpoint after truncation) and re-services every retained event,
+//!   verifying each recorded routing decision and outcome.
+//! * [`Journal::recover_engine`] / [`crate::Engine::recover`] — the
+//!   crash-recovery path: restores the *latest* checkpoint and replays
+//!   only the tail, making recovery O(tail) instead of O(history) while
+//!   preserving the same divergence detection on the events it replays.
+//!
+//! Shard migration falls out of the same machinery: snapshot, ship,
+//! restore — no genesis replay.
 
 use crate::backend::BackendKind;
 use crate::{Engine, EngineConfig};
+use realloc_core::snapshot::SNAPSHOT_HEADER;
 use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, Request, Window};
+use std::collections::VecDeque;
 
 /// Netted per-request costs, as recorded in the journal.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -108,7 +136,7 @@ pub struct JournalEvent {
 /// Where a replay first diverged from the recording.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplayDivergence {
-    /// Index into [`Journal::events`].
+    /// Index into [`Journal::events`] (retained events).
     pub index: usize,
     /// The recorded event.
     pub recorded: JournalEvent,
@@ -127,19 +155,74 @@ impl std::fmt::Display for ReplayDivergence {
     }
 }
 
-/// Append-only engine event log.
+/// Why a replay or recovery failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A checkpoint snapshot failed to parse or validate.
+    Corrupt(ParseError),
+    /// Replay produced a different outcome than the recording.
+    Divergence(Box<ReplayDivergence>),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Corrupt(e) => write!(f, "corrupt checkpoint snapshot: {e}"),
+            ReplayError::Divergence(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A checkpoint: a full engine snapshot anchoring the start of a
+/// segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Completed flushes at the moment the snapshot was taken.
+    pub batches: u64,
+    /// Events recorded since genesis before this checkpoint (including
+    /// events in segments that were since truncated).
+    pub events_before: u64,
+    /// The engine snapshot (`realloc_core::snapshot` v1 framing).
+    pub snapshot: String,
+}
+
+/// One journal segment: an optional base checkpoint plus the events
+/// recorded until the next checkpoint sealed it.
+#[derive(Clone, Debug)]
+struct Segment {
+    /// The checkpoint this segment starts from; `None` for genesis.
+    base: Option<Checkpoint>,
+    events: Vec<JournalEvent>,
+}
+
+/// Segmented engine event log; see the module docs.
 #[derive(Clone, Debug)]
 pub struct Journal {
     config: EngineConfig,
-    events: Vec<JournalEvent>,
+    /// Retained segments, oldest first; the last one is open (receiving
+    /// appends), all earlier ones are sealed.
+    segments: VecDeque<Segment>,
+    /// Sealed segments dropped by truncation.
+    dropped_segments: u64,
+    /// Events inside the dropped segments.
+    dropped_events: u64,
 }
 
 impl Journal {
     /// Empty journal for an engine with `config`.
     pub fn new(config: EngineConfig) -> Self {
+        let mut segments = VecDeque::new();
+        segments.push_back(Segment {
+            base: None,
+            events: Vec::new(),
+        });
         Journal {
             config,
-            events: Vec::new(),
+            segments,
+            dropped_segments: 0,
+            dropped_events: 0,
         }
     }
 
@@ -148,59 +231,191 @@ impl Journal {
         &self.config
     }
 
-    /// All recorded events, in service order.
-    pub fn events(&self) -> &[JournalEvent] {
-        &self.events
+    /// Re-anchors the config (recovery: the parsed `c` header only
+    /// carries shards/machines/backend; the restored engine knows the
+    /// full configuration, retention cap included).
+    pub(crate) fn set_config(&mut self, config: EngineConfig) {
+        debug_assert_eq!(config.shards, self.config.shards);
+        debug_assert_eq!(config.backend, self.config.backend);
+        self.config = config;
+    }
+
+    /// All retained events in service order (concatenated across
+    /// segments). Events in truncated segments are gone — see
+    /// [`Journal::dropped_events`].
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.events.iter().copied())
+            .collect()
+    }
+
+    /// Retained events without concatenating (cheap).
+    pub fn event_count(&self) -> usize {
+        self.segments.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Events of the open (unsealed) segment — everything recorded since
+    /// the latest checkpoint. Borrow-based so replay's per-batch
+    /// verification stays allocation-free.
+    pub fn tail_events(&self) -> &[JournalEvent] {
+        &self
+            .segments
+            .back()
+            .expect("journal always has an open segment")
+            .events
+    }
+
+    /// Number of retained segments (sealed + the open tail).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Sealed segments dropped to honor the retention cap.
+    pub fn dropped_segments(&self) -> u64 {
+        self.dropped_segments
+    }
+
+    /// Events lost with the dropped segments (still counted in every
+    /// checkpoint's `events_before`).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// The latest checkpoint, when one exists.
+    pub fn latest_checkpoint(&self) -> Option<&Checkpoint> {
+        self.segments.iter().rev().find_map(|s| s.base.as_ref())
     }
 
     /// Appends one event (called by the engine during flush).
     pub fn append(&mut self, event: JournalEvent) {
-        self.events.push(event);
+        self.segments
+            .back_mut()
+            .expect("journal always has an open segment")
+            .events
+            .push(event);
     }
 
-    /// Serializes to the line format (see module docs).
+    /// Seals the open segment and starts a new one anchored at the given
+    /// engine snapshot, then drops sealed segments beyond the retention
+    /// cap. Called by [`Engine::checkpoint`] between flushes.
+    pub fn checkpoint(&mut self, snapshot: String, batches: u64) {
+        let events_before = self.dropped_events
+            + self
+                .segments
+                .iter()
+                .map(|s| s.events.len() as u64)
+                .sum::<u64>();
+        self.segments.push_back(Segment {
+            base: Some(Checkpoint {
+                batches,
+                events_before,
+                snapshot,
+            }),
+            events: Vec::new(),
+        });
+        // Truncate: keep at most `retained_segments` sealed segments.
+        // Dropping from the front is always recovery-safe here: the
+        // segment that becomes the new front was created by a checkpoint
+        // (only the genesis segment has no base, and it is the first to
+        // go).
+        let cap = self.config.retained_segments;
+        while self.segments.len() > cap.saturating_add(1) {
+            debug_assert!(
+                self.segments[1].base.is_some(),
+                "every non-genesis segment starts at a checkpoint"
+            );
+            let seg = self.segments.pop_front().expect("len checked");
+            self.dropped_segments += 1;
+            self.dropped_events += seg.events.len() as u64;
+        }
+    }
+
+    /// Serializes to the v2 line format (see module docs).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(self.events.len() * 24 + 64);
-        out.push_str("# realloc-engine journal v1\n");
+        let mut out = String::with_capacity(self.event_count() * 24 + 64);
+        out.push_str("# realloc-engine journal v2\n");
+        // The header deliberately omits `parallel`: recordings are
+        // execution-strategy agnostic (a pool-drained engine's journal
+        // is byte-identical to a sequential one, and the property tests
+        // pin that). `retained_segments` IS recorded — it governs the
+        // journal's own truncation, so recovery must restore it even
+        // when no checkpoint exists yet.
         writeln!(
             out,
-            "c {} {} {}",
-            self.config.shards, self.config.machines_per_shard, self.config.backend
+            "c {} {} {} {}",
+            self.config.shards,
+            self.config.machines_per_shard,
+            self.config.backend,
+            self.config.retained_segments
         )
         .unwrap();
-        let mut batch = None;
-        for e in &self.events {
-            if batch != Some(e.batch) {
-                writeln!(out, "b {}", e.batch).unwrap();
-                batch = Some(e.batch);
+        if self.dropped_segments > 0 {
+            writeln!(out, "T {} {}", self.dropped_segments, self.dropped_events).unwrap();
+        }
+        for seg in &self.segments {
+            if let Some(cp) = &seg.base {
+                let lines = cp.snapshot.lines().count();
+                writeln!(out, "s {} {} {lines}", cp.batches, cp.events_before).unwrap();
+                for line in cp.snapshot.lines() {
+                    out.push_str(line);
+                    out.push('\n');
+                }
             }
-            match e.request {
-                Request::Insert { id, window } => write!(
-                    out,
-                    "+ {} {} {} {}",
-                    e.shard,
-                    id.0,
-                    window.start(),
-                    window.end()
-                )
-                .unwrap(),
-                Request::Delete { id } => write!(out, "- {} {}", e.shard, id.0).unwrap(),
-            }
-            match e.result {
-                Ok(c) => writeln!(out, " ok {} {}", c.reallocations, c.migrations).unwrap(),
-                Err(code) => writeln!(out, " err {code}").unwrap(),
+            let mut batch = None;
+            for e in &seg.events {
+                if batch != Some(e.batch) {
+                    writeln!(out, "b {}", e.batch).unwrap();
+                    batch = Some(e.batch);
+                }
+                match e.request {
+                    Request::Insert { id, window } => write!(
+                        out,
+                        "+ {} {} {} {}",
+                        e.shard,
+                        id.0,
+                        window.start(),
+                        window.end()
+                    )
+                    .unwrap(),
+                    Request::Delete { id } => write!(out, "- {} {}", e.shard, id.0).unwrap(),
+                }
+                match e.result {
+                    Ok(c) => writeln!(out, " ok {} {}", c.reallocations, c.migrations).unwrap(),
+                    Err(code) => writeln!(out, " err {code}").unwrap(),
+                }
             }
         }
         out
     }
 
-    /// Parses the line format back into a journal.
+    /// Parses the line format back into a journal. Accepts both v1
+    /// journals (no checkpoints, one genesis segment) and v2 segmented
+    /// journals; every malformed-input class — truncated checkpoint
+    /// bodies, garbage ops, duplicate headers, invalid configs — yields
+    /// a located [`ParseError`], never a panic.
+    ///
+    /// Note: *format* compatibility with v1 does not imply *replay*
+    /// compatibility — replay re-services the stream with the current
+    /// schedulers, and scheduler behavior can change across versions
+    /// (e.g. this version's §3 migration victim is the smallest id on
+    /// the tail machine, where older builds depended on hash iteration
+    /// order). Replaying a recording made by an older build can
+    /// legitimately report a divergence; divergence within one build is
+    /// always real corruption or tampering.
     pub fn from_text(text: &str) -> Result<Journal, ParseError> {
         let mut config: Option<EngineConfig> = None;
-        let mut events = Vec::new();
+        let mut dropped: Option<(u64, u64)> = None;
+        let mut segments: VecDeque<Segment> = VecDeque::new();
+        segments.push_back(Segment {
+            base: None,
+            events: Vec::new(),
+        });
         let mut batch = 0u64;
-        for (i, raw) in text.lines().enumerate() {
+
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
             let line = i + 1;
             let err = |message: String| ParseError { line, message };
             let content = raw.split('#').next().unwrap_or("").trim();
@@ -216,17 +431,80 @@ impl Journal {
             };
             match op {
                 "c" => {
+                    if config.is_some() {
+                        return Err(err("duplicate 'c' config header".to_string()));
+                    }
                     let shards = num(parts.next(), "shards")? as usize;
                     let machines = num(parts.next(), "machines")? as usize;
+                    if shards == 0 {
+                        return Err(err("config needs at least one shard".to_string()));
+                    }
+                    if machines == 0 {
+                        return Err(err(
+                            "config needs at least one machine per shard".to_string()
+                        ));
+                    }
                     let backend_raw = parts
                         .next()
                         .ok_or_else(|| err("missing backend".to_string()))?;
                     let backend = BackendKind::parse(backend_raw).map_err(&err)?;
+                    // Optional (absent in v1 journals): retention cap.
+                    let retained_segments = match parts.next() {
+                        Some(tok) => tok
+                            .parse::<usize>()
+                            .map_err(|e| err(format!("bad retained-segments cap: {e}")))?,
+                        None => EngineConfig::default().retained_segments,
+                    };
                     config = Some(EngineConfig {
                         shards,
                         machines_per_shard: machines,
                         backend,
+                        retained_segments,
                         ..EngineConfig::default()
+                    });
+                }
+                "T" => {
+                    if dropped.is_some() {
+                        return Err(err("duplicate 'T' truncation marker".to_string()));
+                    }
+                    let segs = num(parts.next(), "dropped segments")?;
+                    let events = num(parts.next(), "dropped events")?;
+                    if segs == 0 {
+                        return Err(err("'T' must name at least one dropped segment".to_string()));
+                    }
+                    dropped = Some((segs, events));
+                }
+                "s" => {
+                    let batches = num(parts.next(), "checkpoint batches")?;
+                    let events_before = num(parts.next(), "checkpoint events-before")?;
+                    let nlines = num(parts.next(), "checkpoint line count")? as usize;
+                    if let Some(extra) = parts.next() {
+                        return Err(err(format!("unexpected trailing token '{extra}'")));
+                    }
+                    // Consume exactly `nlines` raw lines as the embedded
+                    // snapshot (comments and blanks are part of it).
+                    let mut snapshot = String::new();
+                    for k in 0..nlines {
+                        let Some((_, raw)) = lines.next() else {
+                            return Err(err(format!(
+                                "checkpoint truncated: {k} of {nlines} snapshot lines present"
+                            )));
+                        };
+                        snapshot.push_str(raw);
+                        snapshot.push('\n');
+                    }
+                    if !snapshot.starts_with(SNAPSHOT_HEADER) {
+                        return Err(err(format!(
+                            "checkpoint body does not start with '{SNAPSHOT_HEADER}'"
+                        )));
+                    }
+                    segments.push_back(Segment {
+                        base: Some(Checkpoint {
+                            batches,
+                            events_before,
+                            snapshot,
+                        }),
+                        events: Vec::new(),
                     });
                 }
                 "b" => batch = num(parts.next(), "batch")?,
@@ -263,64 +541,178 @@ impl Journal {
                         }
                         other => return Err(err(format!("bad outcome tag '{other}'"))),
                     };
-                    events.push(JournalEvent {
-                        batch,
-                        shard,
-                        request,
-                        result,
-                    });
+                    segments
+                        .back_mut()
+                        .expect("genesis segment")
+                        .events
+                        .push(JournalEvent {
+                            batch,
+                            shard,
+                            request,
+                            result,
+                        });
                 }
                 other => return Err(err(format!("unknown op '{other}'"))),
             }
-            if let Some(extra) = parts.next() {
-                return Err(ParseError {
-                    line,
-                    message: format!("unexpected trailing token '{extra}'"),
-                });
+            if op != "s" {
+                if let Some(extra) = parts.next() {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unexpected trailing token '{extra}'"),
+                    });
+                }
             }
         }
         let config = config.ok_or(ParseError {
             line: 0,
             message: "journal has no 'c' config header".to_string(),
         })?;
-        Ok(Journal { config, events })
+        let (dropped_segments, dropped_events) = dropped.unwrap_or((0, 0));
+        if dropped_segments > 0 {
+            // A truncated journal has no genesis: its first retained
+            // segment must be a checkpoint, so the placeholder genesis
+            // segment must have stayed empty.
+            let genesis = &segments[0];
+            if !genesis.events.is_empty() {
+                return Err(ParseError {
+                    line: 0,
+                    message: "events precede the first checkpoint of a truncated journal"
+                        .to_string(),
+                });
+            }
+            if segments.len() == 1 {
+                return Err(ParseError {
+                    line: 0,
+                    message: "truncated journal has no checkpoint to recover from".to_string(),
+                });
+            }
+            segments.pop_front();
+        }
+        Ok(Journal {
+            config,
+            segments,
+            dropped_segments,
+            dropped_events,
+        })
     }
 
-    /// Replays the journal against a fresh engine and verifies every
-    /// recorded routing decision and outcome. Returns the engine (for
-    /// state recovery) on success, the first divergence otherwise.
-    pub fn replay(&self) -> Result<Engine, Box<ReplayDivergence>> {
-        let mut cfg = self.config.clone();
-        cfg.journal = true;
-        let mut engine = Engine::new(cfg);
+    /// Rebuilds an engine from the earliest retained state — genesis, or
+    /// the oldest retained checkpoint after truncation — re-servicing
+    /// every retained event and verifying each recorded routing decision
+    /// and outcome (the audit path). Returns the engine on success.
+    pub fn replay(&self) -> Result<Engine, ReplayError> {
+        self.replay_from(0)
+    }
+
+    /// The crash-recovery path: restores the **latest** checkpoint and
+    /// replays only the journal tail (O(tail), not O(history)), with the
+    /// same divergence detection on the replayed events. The returned
+    /// engine carries this journal (retained history included), so it
+    /// keeps recording where the recording left off. Consumes the
+    /// journal so multi-megabyte checkpoint snapshots move instead of
+    /// being copied; clone first to keep a caller-side copy.
+    pub fn recover_engine(self) -> Result<Engine, ReplayError> {
+        let latest = self
+            .segments
+            .iter()
+            .rposition(|s| s.base.is_some())
+            .unwrap_or(0);
+        let mut engine = self.replay_from(latest)?;
+        engine.attach_journal(self);
+        Ok(engine)
+    }
+
+    /// Restores the state at the start of segment `start` (fresh engine
+    /// for genesis, snapshot restore otherwise) and replays the events of
+    /// segments `start..`, batch by batch, verifying outcomes.
+    fn replay_from(&self, start: usize) -> Result<Engine, ReplayError> {
+        let mut engine = match self.segments[start].base.as_ref() {
+            None => {
+                let mut cfg = self.config.clone();
+                cfg.journal = true;
+                Engine::new(cfg)
+            }
+            Some(cp) => {
+                let engine =
+                    Engine::restore_snapshot(&cp.snapshot).map_err(ReplayError::Corrupt)?;
+                let cfg = engine.config();
+                if cfg.shards != self.config.shards
+                    || cfg.machines_per_shard != self.config.machines_per_shard
+                    || cfg.backend != self.config.backend
+                {
+                    return Err(ReplayError::Corrupt(ParseError {
+                        line: 0,
+                        message: format!(
+                            "checkpoint config ({} shards, {} machines, {}) does not match \
+                             the journal header ({} shards, {} machines, {})",
+                            cfg.shards,
+                            cfg.machines_per_shard,
+                            cfg.backend,
+                            self.config.shards,
+                            self.config.machines_per_shard,
+                            self.config.backend
+                        ),
+                    }));
+                }
+                engine
+            }
+        };
+        // Replay records into a fresh journal so replayed events can be
+        // compared index-for-index with the tail.
+        engine.reset_journal();
+        let offset: usize = self
+            .segments
+            .iter()
+            .take(start)
+            .map(|s| s.events.len())
+            .sum();
+        let tail: Vec<JournalEvent> = self
+            .segments
+            .iter()
+            .skip(start)
+            .flat_map(|s| s.events.iter().copied())
+            .collect();
         let mut idx = 0usize;
-        while idx < self.events.len() {
-            let batch = self.events[idx].batch;
+        while idx < tail.len() {
+            let batch = tail[idx].batch;
             let mut end = idx;
-            while end < self.events.len() && self.events[end].batch == batch {
-                engine.submit(self.events[end].request);
+            while end < tail.len() && tail[end].batch == batch {
+                engine.submit(tail[end].request);
                 end += 1;
             }
             engine.flush();
-            let replayed = engine.journal().expect("journal enabled").events();
-            for i in idx..end {
+            // The replay engine never checkpoints, so its whole journal
+            // is one open segment.
+            let replayed = engine.journal().expect("journal enabled").tail_events();
+            for (i, recorded) in tail.iter().enumerate().take(end).skip(idx) {
                 let got = replayed.get(i).copied();
-                // Batch numbering restarts from 0 in the fresh engine;
-                // compare everything else exactly.
+                // Batch numbering restarts in the replay engine; compare
+                // everything else exactly.
                 let matches = got.is_some_and(|g| {
-                    g.shard == self.events[i].shard
-                        && g.request == self.events[i].request
-                        && g.result == self.events[i].result
+                    g.shard == recorded.shard
+                        && g.request == recorded.request
+                        && g.result == recorded.result
                 });
                 if !matches {
-                    return Err(Box::new(ReplayDivergence {
-                        index: i,
-                        recorded: self.events[i],
+                    return Err(ReplayError::Divergence(Box::new(ReplayDivergence {
+                        index: offset + i,
+                        recorded: *recorded,
                         replayed: got,
-                    }));
+                    })));
                 }
             }
             idx = end;
+        }
+        // Replay re-numbers flushes by *eventful* batches only — empty
+        // pre-crash flushes left no events, so the replayed counter can
+        // lag the recorded batch numbers. Resuming recording with a
+        // stale counter would reuse an already-recorded batch number and
+        // merge two distinct flushes at the next replay; pin the counter
+        // past every recorded batch.
+        if let Some(last) = tail.last() {
+            engine.bump_batches_past(last.batch);
+        } else if let Some(cp) = self.segments[start].base.as_ref() {
+            engine.bump_batches_past(cp.batches.saturating_sub(1));
         }
         Ok(engine)
     }

@@ -23,10 +23,16 @@
 //! * **Telemetry** — per-shard [`realloc_core::CostMeter`]s aggregate
 //!   into a [`metrics::Metrics`] snapshot: totals, per-request
 //!   reallocation-cost p50/p95/p99, and router balance.
-//! * **Journal** — an optional append-only event log
-//!   ([`journal::Journal`]) records every request and its netted outcome;
-//!   [`journal::Journal::replay`] deterministically rebuilds engine state
-//!   and verifies the recording (crash recovery, shard migration, audit).
+//! * **Durability** — an optional segmented journal ([`journal::Journal`])
+//!   records every request and its netted outcome; [`Engine::checkpoint`]
+//!   snapshots the full engine state (every layer implements
+//!   [`realloc_core::Restorable`]) into the journal and truncates sealed
+//!   segments beyond [`EngineConfig::retained_segments`], so
+//!   [`Engine::recover`] rebuilds the exact pre-crash engine from the
+//!   latest checkpoint plus the journal *tail* — O(tail), not
+//!   O(history) — while [`journal::Journal::replay`] keeps the full
+//!   audit path with divergence detection. Shard/engine migration is
+//!   "snapshot, ship, restore" ([`Engine::restore_snapshot`]).
 //!
 //! # Quickstart
 //!
@@ -65,15 +71,17 @@ pub mod metrics;
 pub mod pool;
 pub mod shard;
 
-pub use backend::BackendKind;
+pub use backend::{Backend, BackendKind};
 pub use batch::BatchReport;
-pub use journal::{Journal, JournalEvent, ReplayDivergence};
+pub use journal::{Checkpoint, Journal, JournalEvent, ReplayDivergence, ReplayError};
 pub use metrics::Metrics;
 
 use crate::journal::Costs;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardDrain};
 use realloc_core::cost::Placement;
+use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, Request, RequestSeq};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -116,6 +124,15 @@ pub struct EngineConfig {
     pub parallel: bool,
     /// Record every serviced request into an in-memory [`Journal`].
     pub journal: bool,
+    /// How many **sealed** journal segments to retain after a
+    /// checkpoint (the open tail is always kept). Each
+    /// [`Engine::checkpoint`] seals the current segment; once a
+    /// checkpoint exists, older segments are redundant for recovery, so
+    /// anything beyond this cap is dropped — bounding the journal's
+    /// memory instead of growing without bound from genesis. `0` keeps
+    /// only the latest checkpoint plus the tail (minimum-footprint
+    /// recovery); larger values keep audit/replay depth.
+    pub retained_segments: usize,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +143,7 @@ impl Default for EngineConfig {
             backend: BackendKind::TheoremOne { gamma: 8 },
             parallel: false,
             journal: false,
+            retained_segments: 4,
         }
     }
 }
@@ -173,11 +191,7 @@ impl Engine {
                 )))
             })
             .collect();
-        // A pool with fewer than two hardware threads behind it can only
-        // add context switches — degrade to inline drains so `parallel`
-        // is never a pessimization.
-        let pool = (cfg.parallel && cfg.shards > 1 && WorkerPool::threads_for(cfg.shards) > 1)
-            .then(|| WorkerPool::new(&shards));
+        let pool = Self::build_pool(&cfg, &shards);
         let journal = cfg.journal.then(|| Journal::new(cfg.clone()));
         Engine {
             cfg,
@@ -186,6 +200,14 @@ impl Engine {
             journal,
             batches: 0,
         }
+    }
+
+    /// A pool with fewer than two hardware threads behind it can only
+    /// add context switches — degrade to inline drains so `parallel`
+    /// is never a pessimization. (Shared by `new` and snapshot restore.)
+    fn build_pool(cfg: &EngineConfig, shards: &[Arc<Mutex<Shard>>]) -> Option<WorkerPool> {
+        (cfg.parallel && cfg.shards > 1 && WorkerPool::threads_for(cfg.shards) > 1)
+            .then(|| WorkerPool::new(shards))
     }
 
     /// The engine's configuration.
@@ -379,6 +401,231 @@ impl Engine {
                 .sum(),
             migrations: self.shards.iter().map(|s| lock(s).total_migrations()).sum(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing & recovery
+    // ------------------------------------------------------------------
+
+    /// Takes a checkpoint: flushes anything still queued (recorded as an
+    /// ordinary batch), snapshots the **full engine state** — every
+    /// shard's scheduler, active set, and telemetry — into the journal
+    /// as a checkpoint record, and drops sealed journal segments beyond
+    /// [`EngineConfig::retained_segments`].
+    ///
+    /// After a checkpoint, [`Engine::recover`] rebuilds this exact state
+    /// from the serialized journal by restoring the snapshot and
+    /// replaying only the tail — O(tail) instead of O(history). No-op
+    /// when the journal is disabled (there is nowhere to anchor the
+    /// checkpoint). Returns whether a checkpoint was recorded.
+    pub fn checkpoint(&mut self) -> bool {
+        if self.journal.is_none() {
+            return false;
+        }
+        if self.queued() > 0 {
+            self.flush();
+        }
+        let snapshot = self.snapshot_text();
+        let batches = self.batches;
+        self.journal
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(snapshot, batches);
+        true
+    }
+
+    /// Restores an engine from a snapshot document produced by
+    /// [`realloc_core::Restorable::snapshot_text`] — the "snapshot,
+    /// ship, restore" path for shard/engine migration.
+    pub fn restore_snapshot(text: &str) -> Result<Engine, ParseError> {
+        <Engine as Restorable>::restore(text)
+    }
+
+    /// Recovers an engine from serialized journal text read from
+    /// `reader`: parse, restore the latest checkpoint, replay only the
+    /// tail with full divergence detection, and resume with the journal
+    /// attached (recording continues where the recording left off).
+    ///
+    /// Equivalent to a full [`Journal::replay`] in outcome — placements,
+    /// metrics, and telemetry are byte-identical — but O(tail) in time.
+    pub fn recover<R: std::io::Read>(mut reader: R) -> Result<Engine, RecoverError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let journal = Journal::from_text(&text)?;
+        Ok(journal.recover_engine()?)
+    }
+
+    /// Replaces the journal with a fresh, empty one (replay bookkeeping).
+    pub(crate) fn reset_journal(&mut self) {
+        let mut cfg = self.cfg.clone();
+        cfg.journal = true;
+        self.cfg.journal = true;
+        self.journal = Some(Journal::new(cfg));
+    }
+
+    /// Attaches an existing journal (recovery hands the recovered engine
+    /// its own history so recording continues seamlessly). The journal's
+    /// config is re-anchored to this engine's: the serialized `c` header
+    /// only carries shards/machines/backend, but truncation behavior
+    /// (`retained_segments`) must follow the restored configuration, not
+    /// the parser's default.
+    pub(crate) fn attach_journal(&mut self, mut journal: Journal) {
+        self.cfg.journal = true;
+        journal.set_config(self.cfg.clone());
+        self.journal = Some(journal);
+    }
+
+    /// Ensures the flush counter is strictly past `batch`, so the next
+    /// flush never reuses a batch number that already has recorded
+    /// events (see `Journal::replay_from`).
+    pub(crate) fn bump_batches_past(&mut self, batch: u64) {
+        self.batches = self.batches.max(batch.saturating_add(1));
+    }
+}
+
+/// Why [`Engine::recover`] failed.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The reader failed.
+    Io(std::io::Error),
+    /// The journal text failed to parse.
+    Journal(ParseError),
+    /// The checkpoint was corrupt or the tail replay diverged.
+    Replay(ReplayError),
+}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<ParseError> for RecoverError {
+    fn from(e: ParseError) -> Self {
+        RecoverError::Journal(e)
+    }
+}
+
+impl From<ReplayError> for RecoverError {
+    fn from(e: ReplayError) -> Self {
+        RecoverError::Replay(e)
+    }
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery read failed: {e}"),
+            RecoverError::Journal(e) => write!(f, "journal parse failed: {e}"),
+            RecoverError::Replay(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl Restorable for Engine {
+    const SNAPSHOT_KIND: &'static str = "engine";
+
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.line(format_args!(
+            "c {} {} {} {} {} {} {}",
+            self.cfg.shards,
+            self.cfg.machines_per_shard,
+            self.cfg.backend,
+            self.cfg.parallel as u8,
+            self.cfg.journal as u8,
+            self.cfg.retained_segments,
+            self.batches
+        ));
+        for shard in &self.shards {
+            lock(shard).write_state(w);
+        }
+    }
+
+    fn read_state(node: &SnapshotNode) -> Result<Self, ParseError> {
+        node.expect_kind(Self::SNAPSHOT_KIND)?;
+        let mut header: Option<(EngineConfig, u64)> = None;
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            match f.token("op")? {
+                "c" => {
+                    if header.is_some() {
+                        return Err(f.err("duplicate 'c' config line"));
+                    }
+                    let shards = f.usize("shards")?;
+                    let machines_per_shard = f.usize("machines per shard")?;
+                    let backend_raw = f.token("backend")?;
+                    let backend = match BackendKind::parse(backend_raw) {
+                        Ok(b) => b,
+                        Err(msg) => return Err(f.err(msg)),
+                    };
+                    let parallel = f.u64("parallel flag")? != 0;
+                    let journal = f.u64("journal flag")? != 0;
+                    let retained_segments = f.usize("retained segments")?;
+                    let batches = f.u64("batches")?;
+                    f.finish()?;
+                    if shards == 0 {
+                        return Err(f.err("engine needs at least one shard"));
+                    }
+                    if machines_per_shard == 0 {
+                        return Err(f.err("shards need at least one machine"));
+                    }
+                    header = Some((
+                        EngineConfig {
+                            shards,
+                            machines_per_shard,
+                            backend,
+                            parallel,
+                            journal,
+                            retained_segments,
+                        },
+                        batches,
+                    ));
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unknown engine snapshot op '{other}'"),
+                    })
+                }
+            }
+        }
+        let (cfg, batches) = header.ok_or(ParseError {
+            line: 0,
+            message: "engine snapshot has no 'c' config line".to_string(),
+        })?;
+        let shard_nodes: Vec<&SnapshotNode> = node.children_of("shard").collect();
+        if shard_nodes.len() != cfg.shards {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "engine snapshot declares {} shards but embeds {} shard sections",
+                    cfg.shards,
+                    shard_nodes.len()
+                ),
+            });
+        }
+        let mut shards: Vec<Arc<Mutex<Shard>>> = Vec::with_capacity(cfg.shards);
+        for (i, sn) in shard_nodes.into_iter().enumerate() {
+            let shard = Shard::read_state(cfg.backend, cfg.machines_per_shard, sn)?;
+            if shard.id() != i {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!("shard sections out of order: found {} at {i}", shard.id()),
+                });
+            }
+            shards.push(Arc::new(Mutex::new(shard)));
+        }
+        let pool = Self::build_pool(&cfg, &shards);
+        let journal = cfg.journal.then(|| Journal::new(cfg.clone()));
+        Ok(Engine {
+            cfg,
+            shards,
+            pool,
+            journal,
+            batches,
+        })
     }
 }
 

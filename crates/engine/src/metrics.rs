@@ -91,6 +91,81 @@ impl CostHistogram {
         self.max
     }
 
+    /// Raw scalar parts `(count, sum, max, overflow)` for snapshot
+    /// serialization.
+    pub(crate) fn parts(&self) -> (u64, u64, u64, u64) {
+        (self.count, self.sum, self.max, self.overflow)
+    }
+
+    /// Non-empty direct buckets as `(cost, count)` pairs, ascending.
+    pub(crate) fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(cost, &n)| (cost, n))
+    }
+
+    /// Rebuilds a histogram from serialized parts, validating internal
+    /// consistency (graceful errors, never panics — checkpoint data may
+    /// be truncated or hand-edited).
+    pub(crate) fn from_parts(
+        count: u64,
+        sum: u64,
+        max: u64,
+        overflow: u64,
+        buckets: &[(usize, u64)],
+    ) -> Result<CostHistogram, String> {
+        let mut h = CostHistogram {
+            overflow,
+            count,
+            sum,
+            max,
+            ..CostHistogram::default()
+        };
+        let mut bucket_total = 0u64;
+        for &(cost, n) in buckets {
+            let slot = h
+                .buckets
+                .get_mut(cost)
+                .ok_or_else(|| format!("histogram bucket {cost} out of range"))?;
+            if *slot != 0 {
+                return Err(format!("duplicate histogram bucket {cost}"));
+            }
+            *slot = n;
+            // Checked: counts come from untrusted checkpoint text.
+            bucket_total = bucket_total
+                .checked_add(n)
+                .ok_or_else(|| format!("histogram bucket counts overflow at cost {cost}"))?;
+        }
+        if bucket_total.checked_add(overflow) != Some(count) {
+            return Err(format!(
+                "histogram count {count} != bucket total {bucket_total} + overflow {overflow}"
+            ));
+        }
+        if overflow == 0 {
+            // Without overflow samples the sum is fully determined by
+            // the buckets; a forged sum would skew the restored mean.
+            let mut dot = 0u64;
+            for &(cost, n) in buckets {
+                dot = (cost as u64)
+                    .checked_mul(n)
+                    .and_then(|x| dot.checked_add(x))
+                    .ok_or_else(|| format!("histogram sum overflows at cost {cost}"))?;
+            }
+            if dot != sum {
+                return Err(format!("histogram sum {sum} != bucket dot-product {dot}"));
+            }
+        }
+        if count > 0 && overflow == 0 {
+            let top = buckets.iter().map(|&(c, _)| c as u64).max().unwrap_or(0);
+            if top != max {
+                return Err(format!("histogram max {max} != top bucket {top}"));
+            }
+        }
+        Ok(h)
+    }
+
     /// Merges another histogram into this one (engine-wide union).
     pub fn merge(&mut self, other: &CostHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

@@ -10,17 +10,19 @@
 //! without touching scheduling logic. Telemetry is O(1) per request and
 //! O(1) memory (see [`crate::metrics`]).
 
-use crate::backend::{BackendKind, BoxedBackend};
+use crate::backend::{Backend, BackendKind};
 use crate::journal::{Costs, ErrCode, ReqResult};
 use crate::metrics::CostHistogram;
 use fxhash::FxHashMap;
-use realloc_core::{JobId, Request, Window};
+use realloc_core::snapshot::{Fields, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
+use realloc_core::{JobId, Reallocator as _, Request, Window};
 use std::collections::VecDeque;
 
 /// One independent scheduling shard.
 pub struct Shard {
     id: usize,
-    backend: BoxedBackend,
+    backend: Backend,
     queue: VecDeque<Request>,
     /// Active jobs with their original windows (tenant-resolved ids).
     /// FxHash: touched once per request; only point lookups, never
@@ -190,6 +192,199 @@ impl Shard {
                 self.active.remove(&id);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (the engine checkpoint building block)
+    // ------------------------------------------------------------------
+
+    /// Writes the shard's full state — telemetry counters, cost
+    /// histogram, active windows, pending (unflushed) queue entries in
+    /// FIFO order, and the backend's complete scheduler state — as a
+    /// `shard <id>` section. [`crate::Engine::checkpoint`] flushes
+    /// before snapshotting, so checkpoint sections have empty queues;
+    /// the migration path may snapshot mid-queue and restore resumes
+    /// with the queue intact.
+    pub(crate) fn write_state(&self, w: &mut SnapshotWriter) {
+        w.begin_args("shard", format_args!("{}", self.id));
+        for r in &self.queue {
+            match *r {
+                Request::Insert { id, window } => w.line(format_args!(
+                    "q + {} {} {}",
+                    id.0,
+                    window.start(),
+                    window.end()
+                )),
+                Request::Delete { id } => w.line(format_args!("q - {}", id.0)),
+            }
+        }
+        w.line(format_args!(
+            "s {} {} {} {}",
+            self.requests, self.failed, self.reallocations, self.migrations
+        ));
+        let (count, sum, max, overflow) = self.hist.parts();
+        w.line(format_args!("c {count} {sum} {max} {overflow}"));
+        for (cost, n) in self.hist.nonzero_buckets() {
+            w.line(format_args!("cb {cost} {n}"));
+        }
+        let mut active: Vec<(JobId, Window)> =
+            self.active.iter().map(|(&id, &w)| (id, w)).collect();
+        active.sort_by_key(|&(id, _)| id);
+        for (id, win) in active {
+            w.line(format_args!("a {} {} {}", id.0, win.start(), win.end()));
+        }
+        self.backend.write_state(w);
+        w.end();
+    }
+
+    /// Rebuilds a shard from a `shard` section, cross-validating the
+    /// active set against the restored backend.
+    pub(crate) fn read_state(
+        kind: BackendKind,
+        machines: usize,
+        node: &SnapshotNode,
+    ) -> Result<Shard, ParseError> {
+        node.expect_kind("shard")?;
+        let id: usize = node
+            .args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .ok_or(ParseError {
+                line: 0,
+                message: "shard section needs a numeric id argument".to_string(),
+            })?;
+        let mut stats: Option<(u64, u64, u64, u64)> = None;
+        let mut hist_header: Option<(u64, u64, u64, u64)> = None;
+        let mut buckets: Vec<(usize, u64)> = Vec::new();
+        let mut active: FxHashMap<JobId, Window> = FxHashMap::default();
+        let mut queue: VecDeque<Request> = VecDeque::new();
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            match f.token("op")? {
+                "q" => {
+                    let op = f.token("queued op")?;
+                    let id = JobId(f.u64("job id")?);
+                    let request = match op {
+                        "+" => {
+                            let start = f.u64("window start")?;
+                            let end = f.u64("window end")?;
+                            if end <= start {
+                                return Err(
+                                    f.err(format!("window end {end} must exceed start {start}"))
+                                );
+                            }
+                            Request::Insert {
+                                id,
+                                window: Window::new(start, end),
+                            }
+                        }
+                        "-" => Request::Delete { id },
+                        other => return Err(f.err(format!("bad queued op '{other}'"))),
+                    };
+                    f.finish()?;
+                    queue.push_back(request);
+                }
+                "s" => {
+                    if stats.is_some() {
+                        return Err(f.err("duplicate 's' stats line"));
+                    }
+                    let v = (
+                        f.u64("requests")?,
+                        f.u64("failed")?,
+                        f.u64("reallocations")?,
+                        f.u64("migrations")?,
+                    );
+                    f.finish()?;
+                    stats = Some(v);
+                }
+                "c" => {
+                    if hist_header.is_some() {
+                        return Err(f.err("duplicate 'c' histogram line"));
+                    }
+                    let v = (
+                        f.u64("count")?,
+                        f.u64("sum")?,
+                        f.u64("max")?,
+                        f.u64("overflow")?,
+                    );
+                    f.finish()?;
+                    hist_header = Some(v);
+                }
+                "cb" => {
+                    let cost = f.usize("bucket cost")?;
+                    let n = f.u64("bucket count")?;
+                    f.finish()?;
+                    buckets.push((cost, n));
+                }
+                "a" => {
+                    let id = JobId(f.u64("job id")?);
+                    let start = f.u64("window start")?;
+                    let end = f.u64("window end")?;
+                    f.finish()?;
+                    if end <= start {
+                        return Err(f.err(format!("window end {end} must exceed start {start}")));
+                    }
+                    if active.insert(id, Window::new(start, end)).is_some() {
+                        return Err(f.err(format!("duplicate active job {id}")));
+                    }
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unknown shard snapshot op '{other}'"),
+                    })
+                }
+            }
+        }
+        let (requests, failed, reallocations, migrations) = stats.ok_or(ParseError {
+            line: 0,
+            message: format!("shard {id} snapshot has no 's' stats line"),
+        })?;
+        let (count, sum, max, overflow) = hist_header.ok_or(ParseError {
+            line: 0,
+            message: format!("shard {id} snapshot has no 'c' histogram line"),
+        })?;
+        let hist = CostHistogram::from_parts(count, sum, max, overflow, &buckets)
+            .map_err(|message| ParseError { line: 0, message })?;
+        if requests != count {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "shard {id}: {requests} serviced requests but the histogram records {count}"
+                ),
+            });
+        }
+        let backend = Backend::read_state(kind, machines, node)?;
+        // The backend must schedule exactly the recorded active set.
+        if backend.active_count() != active.len() {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "shard {id}: backend holds {} jobs but {} are recorded active",
+                    backend.active_count(),
+                    active.len()
+                ),
+            });
+        }
+        for (id2, _) in backend.snapshot().iter() {
+            if !active.contains_key(&id2) {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!("shard {id}: backend schedules unrecorded job {id2}"),
+                });
+            }
+        }
+        Ok(Shard {
+            id,
+            backend,
+            queue,
+            active,
+            hist,
+            requests,
+            reallocations,
+            migrations,
+            failed,
+        })
     }
 }
 

@@ -16,6 +16,7 @@ fn config(shards: usize, backend: BackendKind) -> EngineConfig {
         backend,
         parallel: false,
         journal: true,
+        ..EngineConfig::default()
     }
 }
 
@@ -269,11 +270,14 @@ fn journal_records_failures_and_replay_detects_tampering() {
 
     // Flip the recorded cost of the first insert: replay must diverge.
     let tampered = text.replace("ok 0 0", "ok 7 0");
-    let divergence = Journal::from_text(&tampered)
+    let error = Journal::from_text(&tampered)
         .unwrap()
         .replay()
         .expect_err("tampered journal must not replay cleanly");
-    assert_eq!(divergence.index, 0);
+    match error {
+        realloc_engine::ReplayError::Divergence(d) => assert_eq!(d.index, 0),
+        other => panic!("expected a divergence, got {other}"),
+    }
 }
 
 #[test]

@@ -1,12 +1,15 @@
 //! The full Theorem-1 pipeline: align → delegate → per-machine backend.
 
-use fxhash::{FxHashMap, FxHashSet};
+use fxhash::FxHashMap;
 use realloc_core::cost::Placement;
+use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
 use realloc_core::{
     Error, JobId, Move, Reallocator, RequestOutcome, ScheduleSnapshot, SingleMachineReallocator,
     Window,
 };
 use realloc_reservation::TrimmedScheduler;
+use std::collections::BTreeSet;
 
 /// Per-effective-window delegation bookkeeping (paper §3).
 #[derive(Clone, Debug)]
@@ -18,13 +21,13 @@ struct WindowGroup {
     /// machine still holds `⌊n_W/m⌋` or `⌈n_W/m⌉` jobs of the window)
     /// while balancing *aggregate* load across windows.
     start: usize,
-    /// Which jobs of this window live on each machine. FxHash keeps the
-    /// iteration order (and therefore the §3 migration-victim choice on
-    /// delete) deterministic across engine instances — journal replay and
-    /// the parallel-vs-sequential equivalence guarantees depend on that;
-    /// `std`'s per-instance `RandomState` could pick different victims in
-    /// two engines fed the same stream.
-    per_machine: Vec<FxHashSet<JobId>>,
+    /// Which jobs of this window live on each machine. Ordered sets so
+    /// the §3 migration-victim choice on delete (the smallest id on the
+    /// rotation's tail machine) is a pure function of the *content* —
+    /// not of hash-map insertion history. Journal replay, the
+    /// parallel-vs-sequential equivalence guarantee, and snapshot/restore
+    /// equivalence all depend on that purity.
+    per_machine: Vec<BTreeSet<JobId>>,
 }
 
 impl WindowGroup {
@@ -35,7 +38,7 @@ impl WindowGroup {
         WindowGroup {
             count: 0,
             start: (h.finish() % machines as u64) as usize,
-            per_machine: vec![FxHashSet::default(); machines],
+            per_machine: vec![BTreeSet::new(); machines],
         }
     }
 
@@ -171,7 +174,9 @@ impl<B: SingleMachineReallocator> Reallocator for ReallocatingScheduler<B> {
                 !group.per_machine[tail].is_empty(),
                 "round-robin invariant: tail machine must hold a job of {effective}"
             );
-            if let Some(&mover) = group.per_machine[tail].iter().next() {
+            // The victim is the smallest id on the tail machine —
+            // deterministic from content alone (see `per_machine`).
+            if let Some(&mover) = group.per_machine[tail].first() {
                 // Migrate `mover` from `tail` to `mi` (≤ 1 migration).
                 let del = self.machines[tail].delete(mover)?;
                 outcome
@@ -228,6 +233,151 @@ impl<B: SingleMachineReallocator> Reallocator for ReallocatingScheduler<B> {
 
     fn name(&self) -> &'static str {
         "realloc-multi"
+    }
+}
+
+impl<B: SingleMachineReallocator + Restorable> Restorable for ReallocatingScheduler<B> {
+    const SNAPSHOT_KIND: &'static str = "multi";
+
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        // Recorded: machine count, every job's (id, original window,
+        // machine), and each machine's full backend state as a child
+        // section. Re-derived on restore: effective windows (the
+        // alignment reduction is deterministic), window groups, rotation
+        // starts (a pure hash of the window), and per-machine membership.
+        w.line(format_args!("m {}", self.machines.len()));
+        let mut jobs: Vec<(JobId, JobInfo)> = self.jobs.iter().map(|(&id, &i)| (id, i)).collect();
+        jobs.sort_by_key(|&(id, _)| id);
+        for (id, info) in jobs {
+            w.line(format_args!(
+                "j {} {} {} {}",
+                id.0,
+                info.original.start(),
+                info.original.end(),
+                info.machine
+            ));
+        }
+        for b in &self.machines {
+            w.child(b);
+        }
+    }
+
+    fn read_state(node: &SnapshotNode) -> Result<Self, ParseError> {
+        node.expect_kind(Self::SNAPSHOT_KIND)?;
+        let mut machine_count: Option<usize> = None;
+        let mut jobs: Vec<(usize, JobId, Window, usize)> = Vec::new();
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            match f.token("op")? {
+                "m" => {
+                    if machine_count.is_some() {
+                        return Err(f.err("duplicate 'm' line"));
+                    }
+                    let m = f.usize("machine count")?;
+                    f.finish()?;
+                    if m == 0 {
+                        return Err(f.err("machine count must be >= 1"));
+                    }
+                    machine_count = Some(m);
+                }
+                "j" => {
+                    let id = JobId(f.u64("job id")?);
+                    let start = f.u64("window start")?;
+                    let end = f.u64("window end")?;
+                    let machine = f.usize("machine")?;
+                    f.finish()?;
+                    if end <= start {
+                        return Err(f.err(format!("window end {end} must exceed start {start}")));
+                    }
+                    jobs.push((*line, id, Window::new(start, end), machine));
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unknown multi snapshot op '{other}'"),
+                    })
+                }
+            }
+        }
+        let m = machine_count.ok_or(ParseError {
+            line: 0,
+            message: "multi snapshot has no 'm' machine-count line".to_string(),
+        })?;
+        let backends: Vec<B> = node
+            .children_of(B::SNAPSHOT_KIND)
+            .map(B::read_state)
+            .collect::<Result<_, _>>()?;
+        if backends.len() != m {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "multi snapshot declares {m} machines but embeds {} '{}' sections",
+                    backends.len(),
+                    B::SNAPSHOT_KIND
+                ),
+            });
+        }
+        let mut s = ReallocatingScheduler::with_backends(backends);
+        for &(line, id, original, machine) in &jobs {
+            let err = |message: String| ParseError { line, message };
+            if machine >= m {
+                return Err(err(format!("job {id} on machine {machine} of {m}")));
+            }
+            let effective = Self::effective_window(original);
+            if s.machines[machine].slot_of(id).is_none() {
+                return Err(err(format!(
+                    "job {id} is recorded on machine {machine} but its backend does not hold it"
+                )));
+            }
+            let group = s
+                .windows
+                .entry(effective)
+                .or_insert_with(|| WindowGroup::new(m, effective));
+            group.count += 1;
+            if !group.per_machine[machine].insert(id) {
+                return Err(err(format!("duplicate job {id}")));
+            }
+            s.jobs.insert(
+                id,
+                JobInfo {
+                    original,
+                    effective,
+                    machine,
+                },
+            );
+        }
+        // Cross-validate: backends hold exactly the recorded jobs, and
+        // every group satisfies the §3 rotation profile (machine i holds
+        // precisely the jobs the round-robin from `start` would place
+        // there — future delegation and migration depend on it).
+        let backend_active: usize = s.machines.iter().map(|b| b.active_count()).sum();
+        if backend_active != s.jobs.len() {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "backends hold {backend_active} jobs but {} are recorded",
+                    s.jobs.len()
+                ),
+            });
+        }
+        for (win, group) in &s.windows {
+            let mut expect = vec![0u64; m];
+            for i in 0..group.count {
+                expect[group.machine_of(i, m)] += 1;
+            }
+            for (mi, want) in expect.iter().enumerate() {
+                let have = group.per_machine[mi].len() as u64;
+                if have != *want {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!(
+                            "window {win}: machine {mi} holds {have} jobs, rotation expects {want}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(s)
     }
 }
 

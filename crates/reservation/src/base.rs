@@ -64,6 +64,32 @@ impl ReservationScheduler {
                 return Ok(());
             }
             let Some((victim_id, victim_rec)) = victim else {
+                // Roll the partial cascade back so a rejected insert
+                // leaves the scheduler exactly as it found it (the
+                // engine keeps serving after a rejection, so a failed
+                // request must not corrupt state). The chain structure
+                // makes this exact: every slot a mover took is the next
+                // victim's original slot, so restoring each mover to its
+                // `from` in reverse order — and finally the in-flight
+                // job to the slot it was displaced from — rewrites every
+                // touched slot once. Intermediate swaps never touched
+                // ancestor allowances, so nothing else needs undoing.
+                for mv in moves.iter().rev() {
+                    match mv.from {
+                        Some(f) => {
+                            self.slot_jobs.insert(f, mv.job);
+                            self.jobs.get_mut(&mv.job).expect("cascade job").slot = f;
+                        }
+                        None => {
+                            self.jobs.remove(&mv.job);
+                        }
+                    }
+                }
+                if let Some(f) = from {
+                    debug_assert_eq!(self.jobs.get(&cur_job).map(|r| r.slot), Some(f));
+                    self.slot_jobs.insert(f, cur_job);
+                }
+                moves.clear();
                 return Err(Error::CapacityExhausted {
                     job: cur_job,
                     detail: format!(

@@ -29,26 +29,31 @@ use crate::scheduler::ReservationScheduler;
 use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Tower, Window};
 use std::collections::{HashMap, VecDeque};
 
-const MIN_N_STAR: u64 = 8;
+pub(crate) const MIN_N_STAR: u64 = 8;
 
 /// How many old-generation jobs each request additionally migrates while a
 /// drain is in progress (the paper's "two jobs").
 const DRAIN_PER_REQUEST: usize = 2;
 
 /// Deamortized trimmed reservation scheduler (even/odd-slot scheme).
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can serialize the full
+/// state, including the in-flight drain queue (its order is part of the
+/// observable behavior: it decides which jobs migrate on each request).
 #[derive(Clone, Debug)]
 pub struct DeamortizedScheduler {
     /// `gens[p]` schedules the half-axis mapped to real slots `2t + p`.
-    gens: [ReservationScheduler; 2],
-    gamma: u64,
-    n_star: u64,
-    active: usize,
-    /// Jobs of the draining (non-active) generation, oldest first.
-    draining: VecDeque<JobId>,
+    pub(crate) gens: [ReservationScheduler; 2],
+    pub(crate) gamma: u64,
+    pub(crate) n_star: u64,
+    pub(crate) active: usize,
+    /// Jobs of the draining (non-active) generation, in drain order
+    /// (ascending job id from the flip that created the queue).
+    pub(crate) draining: VecDeque<JobId>,
     /// Original aligned windows and current generation of each job.
-    jobs: HashMap<JobId, (Window, usize)>,
+    pub(crate) jobs: HashMap<JobId, (Window, usize)>,
     /// Completed generation flips (observability).
-    flips: u64,
+    pub(crate) flips: u64,
 }
 
 impl DeamortizedScheduler {
@@ -82,6 +87,11 @@ impl DeamortizedScheduler {
     /// Completed generation flips.
     pub fn flips(&self) -> u64 {
         self.flips
+    }
+
+    /// The trim factor γ this scheduler was built with.
+    pub fn gamma(&self) -> u64 {
+        self.gamma
     }
 
     /// Jobs still waiting to migrate out of the draining generation.
@@ -161,15 +171,22 @@ impl DeamortizedScheduler {
             self.n_star /= 2;
         }
         // Flip: the active generation starts draining into the other one.
+        // The queue is sorted by job id so the drain order — which decides
+        // which two jobs migrate on each subsequent request — is a pure
+        // function of the active set, not of `jobs`'s hash iteration
+        // order. Snapshot/restore and cross-instance replay depend on
+        // this determinism.
         let old = self.active;
         self.active = 1 - old;
         self.flips += 1;
-        self.draining = self
+        let mut queue: Vec<JobId> = self
             .jobs
             .iter()
             .filter(|(_, &(_, g))| g == old)
             .map(|(&id, _)| id)
             .collect();
+        queue.sort_unstable();
+        self.draining = queue.into();
         Ok(())
     }
 }

@@ -22,7 +22,9 @@
 //!   cross-level displacement cascade);
 //! * [`base`] — the constant-cost level-0 cascade for spans `≤ L₁`;
 //! * [`trim`] — amortized `n*` trimming (Lemma 9);
-//! * [`invariants`] — exhaustive structural checking for tests.
+//! * [`invariants`] — exhaustive structural checking for tests;
+//! * [`snapshot`] — full-state snapshot/restore
+//!   ([`realloc_core::Restorable`]) for checkpointing and migration.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod deamortized;
 pub mod invariants;
 pub mod quota;
 pub mod scheduler;
+pub mod snapshot;
 pub mod state;
 pub mod trim;
 

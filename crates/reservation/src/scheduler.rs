@@ -925,6 +925,75 @@ impl ReservationScheduler {
         self.drain(work, moves)
     }
 
+    // ------------------------------------------------------------------
+    // Aborted-cascade recovery
+    // ------------------------------------------------------------------
+
+    /// Restores `jobs`/`slot_jobs` consistency after an aborted
+    /// displacement cascade.
+    ///
+    /// A request rejected *mid-cascade* (possible only when the
+    /// underallocation precondition is violated) can leave one displaced
+    /// job without a slot: its PLACE either failed or was still queued
+    /// when the worklist was cleared. At most one PLACE is ever in flight
+    /// or pending, so at most one job is orphaned per abort. The orphan
+    /// is re-placed through the ordinary PLACE machinery — the withdrawn
+    /// request released the capacity it had claimed — and if even that
+    /// fails the schedule is rebuilt from scratch. A rejected request
+    /// must never corrupt state: the engine keeps serving after
+    /// rejections.
+    ///
+    /// O(1) when nothing is orphaned (one length probe), which is every
+    /// path that matters.
+    pub(crate) fn recover_orphans(&mut self, moves: &mut Vec<SlotMove>) {
+        if self.jobs.len() == self.slot_jobs.len() {
+            return;
+        }
+        let orphans: Vec<(JobId, JobRec)> = self
+            .jobs
+            .iter()
+            .filter(|(id, rec)| self.slot_jobs.get(&rec.slot) != Some(id))
+            .map(|(&id, &rec)| (id, rec))
+            .collect();
+        for (id, rec) in orphans {
+            debug_assert!(rec.level >= 1, "base-cascade rollback is exact");
+            let mut work = VecDeque::new();
+            let replaced = self
+                .place(id, rec.window, rec.level, Some(rec.slot), moves, &mut work)
+                .and_then(|()| self.drain(&mut work, moves));
+            if replaced.is_err() {
+                self.rebuild_from_active();
+                return;
+            }
+        }
+    }
+
+    /// Last-resort consistency restore: rebuilds the whole schedule from
+    /// the active set, span-sorted (shorter windows first never displace
+    /// anything). Only reachable when an orphan could not be re-placed —
+    /// i.e. under a doubly violated underallocation precondition. Jobs
+    /// the rebuild cannot place (the instance is over-packed beyond what
+    /// the reservation machinery tolerates) are dropped rather than kept
+    /// in an inconsistent schedule.
+    fn rebuild_from_active(&mut self) {
+        let mut jobs: Vec<(JobId, Window)> = self
+            .jobs
+            .iter()
+            .map(|(&id, rec)| (id, rec.window))
+            .collect();
+        jobs.sort_by_key(|&(id, w)| (w.span(), w.start(), id));
+        let mut fresh = ReservationScheduler::with_tower(self.tower.clone());
+        for (level, lvl) in self.levels.iter().enumerate() {
+            // Preserve high-water marks: standing-reservation reach only
+            // ever grows, and keeping it avoids quota discontinuities.
+            fresh.levels[level].high_water = lvl.high_water;
+        }
+        for &(id, w) in &jobs {
+            let _ = fresh.insert(id, w);
+        }
+        *self = fresh;
+    }
+
     /// Count of physically occupied slots (for tests).
     pub fn occupied_slots(&self) -> usize {
         self.slot_jobs.len()
@@ -984,6 +1053,11 @@ impl SingleMachineReallocator for ReservationScheduler {
         };
         work.clear();
         self.scratch.work = work;
+        if result.is_err() {
+            // A mid-cascade rejection may have orphaned one displaced
+            // job; restore consistency before surfacing the error.
+            self.recover_orphans(&mut moves);
+        }
         result.map(|()| moves)
     }
 
@@ -1000,6 +1074,9 @@ impl SingleMachineReallocator for ReservationScheduler {
         };
         work.clear();
         self.scratch.work = work;
+        if result.is_err() {
+            self.recover_orphans(&mut moves);
+        }
         result.map(|()| moves)
     }
 

@@ -20,21 +20,24 @@ use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Tower
 
 /// Smallest `n*` we bother tracking; below this trimming is a no-op in
 /// practice and rebuild churn would dominate.
-const MIN_N_STAR: u64 = 8;
+pub(crate) const MIN_N_STAR: u64 = 8;
 
 /// A [`ReservationScheduler`] wrapped with the paper's `n*` trimming rule
 /// and amortized rebuilds.
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can serialize and
+/// rebuild the full trim bookkeeping (`n*`, originals, rebuild counter).
 #[derive(Clone, Debug)]
 pub struct TrimmedScheduler {
-    inner: ReservationScheduler,
-    tower: Tower,
+    pub(crate) inner: ReservationScheduler,
+    pub(crate) tower: Tower,
     /// The γ used in the trim bound `2γn*`.
-    gamma: u64,
-    n_star: u64,
+    pub(crate) gamma: u64,
+    pub(crate) n_star: u64,
     /// Original aligned windows, pre-trim (rebuilds re-trim from these).
-    originals: FxHashMap<JobId, Window>,
+    pub(crate) originals: FxHashMap<JobId, Window>,
     /// Number of full rebuilds performed (observability for experiments).
-    rebuilds: u64,
+    pub(crate) rebuilds: u64,
 }
 
 impl TrimmedScheduler {
@@ -65,6 +68,11 @@ impl TrimmedScheduler {
     /// Current `n*` estimate.
     pub fn n_star(&self) -> u64 {
         self.n_star
+    }
+
+    /// The trim factor γ this scheduler was built with.
+    pub fn gamma(&self) -> u64 {
+        self.gamma
     }
 
     /// Number of full rebuilds performed so far.

@@ -1,0 +1,159 @@
+//! Snapshot/restore properties for the reservation scheduler family:
+//! restored state passes the exhaustive invariant check (including exact
+//! `phys_occ`/`lower_occ` occupancy indices), reproduces identical
+//! behavior on a churn suffix, and rejected requests — even mid-cascade
+//! ones on over-packed instances — never corrupt state.
+
+use proptest::prelude::*;
+use realloc_core::{JobId, Restorable, SingleMachineReallocator, Window};
+use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
+use realloc_workloads::{ChurnConfig, ChurnGenerator};
+
+/// Aligned churn stream with spans ≥ 4 (deamortized needs ≥ 2).
+fn churn(seed: u64, len: usize) -> realloc_core::RequestSeq {
+    let mut gen = ChurnGenerator::new(
+        ChurnConfig {
+            machines: 1,
+            gamma: 8,
+            horizon: 1 << 12,
+            spans: vec![4, 16, 64, 256],
+            target_active: 80,
+            insert_bias: 0.6,
+            unaligned: false,
+        },
+        seed,
+    );
+    gen.generate(len)
+}
+
+fn drive(s: &mut impl SingleMachineReallocator, seq: &realloc_core::RequestSeq) {
+    for &r in seq.requests() {
+        match r {
+            realloc_core::Request::Insert { id, window } => {
+                let _ = s.insert(id, window);
+            }
+            realloc_core::Request::Delete { id } => {
+                let _ = s.delete(id);
+            }
+        }
+    }
+}
+
+/// Same-request equivalence: every subsequent request must produce the
+/// same moves and the same errors on both schedulers.
+fn suffix_equivalent<T: SingleMachineReallocator>(
+    a: &mut T,
+    b: &mut T,
+    seq: &realloc_core::RequestSeq,
+) {
+    for &r in seq.requests() {
+        match r {
+            realloc_core::Request::Insert { id, window } => {
+                assert_eq!(a.insert(id, window), b.insert(id, window), "insert {id}");
+            }
+            realloc_core::Request::Delete { id } => {
+                assert_eq!(a.delete(id), b.delete(id), "delete {id}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn restored_reservation_passes_invariants(seed in 0u64..500) {
+        let mut s = ReservationScheduler::new();
+        drive(&mut s, &churn(seed, 300));
+        s.check_invariants().unwrap();
+
+        let restored = ReservationScheduler::restore(&s.snapshot_text()).unwrap();
+        restored.check_invariants().expect("restored invariants (incl. phys_occ)");
+        prop_assert_eq!(restored.fulfillment_profile(), s.fulfillment_profile());
+
+        let mut restored = restored;
+        suffix_equivalent(&mut s, &mut restored, &churn(seed.wrapping_add(1), 120));
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restored_trimmed_passes_invariants(seed in 0u64..500) {
+        let mut s = TrimmedScheduler::new(8);
+        drive(&mut s, &churn(seed, 300));
+        s.inner().check_invariants().unwrap();
+
+        let mut restored = TrimmedScheduler::restore(&s.snapshot_text()).unwrap();
+        restored.inner().check_invariants().unwrap();
+        prop_assert_eq!(restored.n_star(), s.n_star());
+        suffix_equivalent(&mut s, &mut restored, &churn(seed.wrapping_add(2), 120));
+        restored.inner().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restored_deamortized_passes_invariants(seed in 0u64..500) {
+        let mut s = DeamortizedScheduler::new(8);
+        drive(&mut s, &churn(seed, 300));
+
+        let mut restored = DeamortizedScheduler::restore(&s.snapshot_text()).unwrap();
+        restored.generations().0.check_invariants().unwrap();
+        restored.generations().1.check_invariants().unwrap();
+        prop_assert_eq!(restored.flips(), s.flips());
+        prop_assert_eq!(restored.draining_len(), s.draining_len());
+        suffix_equivalent(&mut s, &mut restored, &churn(seed.wrapping_add(3), 120));
+    }
+
+    /// Over-packed adversarial streams force mid-cascade rejections; a
+    /// rejected request must leave the scheduler consistent (this is the
+    /// regression net for the orphaned-displacement bug the snapshot
+    /// work surfaced).
+    #[test]
+    fn rejections_never_corrupt_state(seed in 0u64..500) {
+        let mut s = ReservationScheduler::new();
+        let mut rejected = 0u32;
+        for i in 0..220u64 {
+            let k = seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            // Dense nests over a tiny horizon: saturates quickly.
+            let span = [1u64, 2, 4, 8, 32, 64][(k % 6) as usize];
+            let start = ((k >> 8) % 4) * span;
+            if s.insert(JobId(i), Window::with_span(start, span)).is_err() {
+                rejected += 1;
+                s.check_invariants().expect("state intact after rejection");
+            }
+            if i % 7 == 6 {
+                let _ = s.delete(JobId(i - 3));
+            }
+        }
+        prop_assert!(rejected > 0, "stream must actually over-pack");
+        s.check_invariants().unwrap();
+        // And the scheduler still snapshots/restores cleanly afterwards.
+        let restored = ReservationScheduler::restore(&s.snapshot_text()).unwrap();
+        restored.check_invariants().unwrap();
+    }
+}
+
+/// Deterministic regression: a base-cascade insert that fails *after* a
+/// partial cascade must roll back exactly (this corrupted `jobs` vs.
+/// `slot_jobs` before the fix).
+#[test]
+fn failed_base_cascade_rolls_back_exactly() {
+    let mut s = ReservationScheduler::new();
+    // Fill [0,4): two span-4 jobs cascade right when two span-2 jobs
+    // claim [0,2).
+    s.insert(JobId(1), Window::new(0, 4)).unwrap();
+    s.insert(JobId(2), Window::new(0, 4)).unwrap();
+    s.insert(JobId(3), Window::new(0, 2)).unwrap();
+    s.insert(JobId(4), Window::new(0, 2)).unwrap();
+    s.check_invariants().unwrap();
+    let before: std::collections::BTreeMap<_, _> = s.assignments().into_iter().collect();
+
+    // A span-1 job aimed at [0,1): displaces a span-2 job, whose
+    // reinsertion into the full [0,2) finds no longer-span victim —
+    // a partial cascade that must be rolled back.
+    let err = s.insert(JobId(9), Window::new(0, 1));
+    assert!(err.is_err(), "the window is genuinely full");
+    s.check_invariants()
+        .expect("rejected mid-cascade insert must not corrupt state");
+    let after: std::collections::BTreeMap<_, _> = s.assignments().into_iter().collect();
+    assert_eq!(before, after, "failed insert must not change the schedule");
+    assert_eq!(s.active_count(), 4);
+}

@@ -44,6 +44,7 @@ pub fn engine_config(
         backend,
         parallel,
         journal: false,
+        ..EngineConfig::default()
     }
 }
 

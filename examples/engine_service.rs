@@ -16,6 +16,7 @@ fn main() {
         backend: BackendKind::TheoremOne { gamma: 8 },
         parallel: false,
         journal: true,
+        ..EngineConfig::default()
     });
 
     // Three tenants, each with an independent density-certified stream.

@@ -100,8 +100,10 @@ pub mod sim {
 
 pub use realloc_core::{
     log_star, CostMeter, Error, Job, JobId, Move, Placement, Reallocator, Request, RequestOutcome,
-    RequestSeq, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
+    RequestSeq, Restorable, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
 };
-pub use realloc_engine::{BackendKind, Engine, EngineConfig, Journal, Metrics, TenantId};
+pub use realloc_engine::{
+    BackendKind, Engine, EngineConfig, Journal, Metrics, RecoverError, ReplayError, TenantId,
+};
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
