@@ -100,9 +100,41 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_resize(c: &mut Criterion) {
+    // Elastic resharding latency as a function of jobs per shard: build
+    // a loaded 4-shard engine, then measure *online* resizes — each
+    // iteration flips the live engine between 4 and 8 shards, i.e. one
+    // full snapshot-ship of every active job onto the rerouted shard
+    // set (alternating grow and shrink, so the reported time is the
+    // mean of the two). The stream is one-machine dense, so any split
+    // of it fits any shard count and every resize succeeds. Results
+    // land in `BENCH_engine_resize.json`; the parameter is active jobs
+    // per shard at the 4-shard end.
+    let backend = BackendKind::TheoremOne { gamma: 8 };
+    let mut group = c.benchmark_group("engine_resize");
+    for &target_active in &[256usize, 1024, 4096] {
+        let seq = churn_seq(1, 8, target_active, 1 << 14, false, target_active * 3, 71);
+        let mut cfg = engine_config(4, 1, backend, false);
+        cfg.journal = false;
+        let mut engine = Engine::new(cfg);
+        engine.ingest(&seq, 512);
+        let jobs = engine.active_count();
+        assert!(jobs > target_active / 2, "workload too shallow: {jobs}");
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_function(BenchmarkId::new("flip_4_8", jobs / 4), |b| {
+            b.iter(|| {
+                let to = if engine.config().shards == 4 { 8 } else { 4 };
+                engine.resize(to).expect("dense stream resize")
+            })
+        });
+        assert!(engine.validate().is_ok(), "bench left an invalid engine");
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_ingest, bench_batch_size, bench_recovery
+    targets = bench_engine_ingest, bench_batch_size, bench_recovery, bench_resize
 }
 criterion_main!(benches);

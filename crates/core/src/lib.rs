@@ -24,7 +24,9 @@
 //! * [`schedule`] — schedule snapshots and feasibility validation,
 //! * [`feasibility`] — offline feasibility (exact EDF for unit jobs) and
 //!   `γ`-underallocation density checks (paper Lemma 2),
-//! * [`traits`] — the `Reallocator` interfaces all schedulers implement.
+//! * [`traits`] — the `Reallocator` interfaces all schedulers implement,
+//! * [`router`] — epoch-versioned shard routing tables (the serving
+//!   layer's elastic-resharding primitive).
 //!
 //! [`realloc-reservation`]: ../realloc_reservation/index.html
 //! [`realloc-multi`]: ../realloc_multi/index.html
@@ -38,6 +40,7 @@ pub mod error;
 pub mod feasibility;
 pub mod job;
 pub mod request;
+pub mod router;
 pub mod schedule;
 pub mod snapshot;
 pub mod textio;
@@ -49,6 +52,7 @@ pub use cost::{CostMeter, Move, Placement, RequestOutcome, SlotMove};
 pub use error::Error;
 pub use job::{Job, JobId};
 pub use request::{Request, RequestSeq};
+pub use router::{Router, RouterError, TENANT_SHIFT};
 pub use schedule::{ScheduleSnapshot, ValidationError};
 pub use snapshot::{Restorable, SnapshotNode, SnapshotWriter, SNAPSHOT_HEADER};
 pub use tower::{log_star, Tower};

@@ -1,0 +1,371 @@
+//! Epoch-versioned request routing for sharded serving layers.
+//!
+//! A [`Router`] is the pure routing function of a sharded engine: given a
+//! job id, which shard owns it? It is `(epoch, shards)`-versioned so the
+//! mapping can *change over the lifetime of a running engine* (elastic
+//! resharding, tenant rebalancing) while staying a pure function of the
+//! router's own state — two routers with equal state route identically,
+//! whatever traffic either has seen.
+//!
+//! * **Hash routing** — by default an id routes by FNV-1a over its bytes,
+//!   modulo the shard count. With no pins this is bit-compatible with the
+//!   fixed routing the engine used before routers existed, so snapshots
+//!   and journals recorded by earlier versions replay to identical
+//!   placements.
+//! * **Tenant pins** — a tenant (the id bits above [`TENANT_SHIFT`]) can
+//!   be pinned to a dedicated shard. Pinned shards are removed from the
+//!   hash range, so a pinned "whale" tenant is fully isolated: its jobs
+//!   cannot crowd other tenants' density budgets and vice versa. At least
+//!   one shard must always remain unpinned to carry hash traffic.
+//! * **Epochs** — every routing change bumps [`Router::epoch`]. Engines
+//!   journal the new table as an epoch record, so a replay that crosses a
+//!   resize re-applies the same routing at the same position and lands on
+//!   byte-identical placements.
+//!
+//! The router serializes as a `router` snapshot section (see
+//! [`Restorable`]), embedded by the engine's own snapshot:
+//!
+//! ```text
+//! !begin router
+//! r 3 6            # epoch 3, 6 shards
+//! p 7 5            # tenant 7 pinned to shard 5
+//! !end
+//! ```
+
+use crate::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
+use crate::textio::ParseError;
+use crate::JobId;
+use std::collections::BTreeMap;
+
+/// Bits of the global job-id space reserved for the external (per-tenant)
+/// id; the tenant id occupies the bits above. Shared between the engine's
+/// tenant namespacing and the router's pin lookup.
+pub const TENANT_SHIFT: u32 = 48;
+
+/// The tenant namespace an id belongs to (its bits above
+/// [`TENANT_SHIFT`]; tenant `0` is the direct, un-namespaced id space).
+pub fn tenant_of(id: JobId) -> u64 {
+    id.0 >> TENANT_SHIFT
+}
+
+/// Stable FNV-1a hash of a job id — the routing hash. Deterministic
+/// across engine instances, processes, and versions by construction.
+pub fn route_hash(id: JobId) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.0.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Why a routing table could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// Shard count was zero.
+    NoShards,
+    /// A pin named a shard outside `0..shards`.
+    PinOutOfRange {
+        /// The pinned tenant.
+        tenant: u64,
+        /// The out-of-range shard.
+        shard: usize,
+    },
+    /// Pins covered every shard, leaving no hash range.
+    NoOpenShard,
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::NoShards => write!(f, "router needs at least one shard"),
+            RouterError::PinOutOfRange { tenant, shard } => {
+                write!(f, "tenant {tenant} pinned to nonexistent shard {shard}")
+            }
+            RouterError::NoOpenShard => {
+                write!(f, "pins cover every shard; no shard left for hash traffic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Versioned routing table; see the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Router {
+    epoch: u64,
+    shards: usize,
+    /// Tenant → dedicated shard.
+    pins: BTreeMap<u64, usize>,
+    /// Sorted shard indices not claimed by any pin (the hash range).
+    /// Derived from `shards` + `pins`; rebuilt on every change.
+    open: Vec<usize>,
+}
+
+impl Router {
+    /// Epoch-0 router: plain hash routing over `shards` shards, no pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero (construction-time bug, not input).
+    pub fn new(shards: usize) -> Router {
+        assert!(shards >= 1, "router needs at least one shard");
+        Router {
+            epoch: 0,
+            shards,
+            pins: BTreeMap::new(),
+            open: (0..shards).collect(),
+        }
+    }
+
+    /// Builds a router from explicit parts, validating the table (pins in
+    /// range, at least one unpinned shard). This is the untrusted-input
+    /// path used by journal epoch records.
+    pub fn from_parts(
+        epoch: u64,
+        shards: usize,
+        pins: impl IntoIterator<Item = (u64, usize)>,
+    ) -> Result<Router, RouterError> {
+        if shards == 0 {
+            return Err(RouterError::NoShards);
+        }
+        let mut table = BTreeMap::new();
+        for (tenant, shard) in pins {
+            if shard >= shards {
+                return Err(RouterError::PinOutOfRange { tenant, shard });
+            }
+            table.insert(tenant, shard);
+        }
+        let open = Self::open_of(shards, &table);
+        if open.is_empty() {
+            return Err(RouterError::NoOpenShard);
+        }
+        Ok(Router {
+            epoch,
+            shards,
+            pins: table,
+            open,
+        })
+    }
+
+    fn open_of(shards: usize, pins: &BTreeMap<u64, usize>) -> Vec<usize> {
+        (0..shards)
+            .filter(|s| !pins.values().any(|p| p == s))
+            .collect()
+    }
+
+    /// Current routing epoch (bumped by every table change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards the table routes over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The pin table, ordered by tenant.
+    pub fn pins(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.pins.iter().map(|(&t, &s)| (t, s))
+    }
+
+    /// The shard a tenant is pinned to, if any.
+    pub fn pin_of(&self, tenant: u64) -> Option<usize> {
+        self.pins.get(&tenant).copied()
+    }
+
+    /// Whether the table is the trivial epoch-0 hash table (no pins).
+    pub fn is_genesis(&self) -> bool {
+        self.epoch == 0 && self.pins.is_empty()
+    }
+
+    /// The shard `id` routes to — a pure function of the id and this
+    /// table. Pinned tenants go to their shard; everything else hashes
+    /// over the unpinned shards.
+    pub fn route(&self, id: JobId) -> usize {
+        if !self.pins.is_empty() {
+            if let Some(&shard) = self.pins.get(&tenant_of(id)) {
+                return shard;
+            }
+        }
+        self.open[(route_hash(id) % self.open.len() as u64) as usize]
+    }
+
+    /// A candidate table for the next epoch: `new_shards` shards, keeping
+    /// every pin that still fits (pins to shards `>= new_shards` are
+    /// dropped — their tenants fall back to hash routing). The epoch is
+    /// **not** bumped here; [`Router::commit`] does that when the engine
+    /// actually adopts the table.
+    pub fn retarget(&self, new_shards: usize) -> Result<Router, RouterError> {
+        let pins = self
+            .pins
+            .iter()
+            .filter(|&(_, &s)| s < new_shards)
+            .map(|(&t, &s)| (t, s));
+        Router::from_parts(self.epoch, new_shards, pins)
+    }
+
+    /// A candidate table with `tenant` pinned to `shard` (replacing any
+    /// existing pin for that tenant).
+    pub fn with_pin(&self, tenant: u64, shard: usize) -> Result<Router, RouterError> {
+        let pins = self
+            .pins
+            .iter()
+            .map(|(&t, &s)| (t, s))
+            .filter(|&(t, _)| t != tenant)
+            .chain(std::iter::once((tenant, shard)));
+        Router::from_parts(self.epoch, self.shards, pins)
+    }
+
+    /// Stamps the table with the epoch that succeeds `previous` — called
+    /// by the engine at the moment a candidate table goes live. (Journal
+    /// replay instead rebuilds tables with [`Router::from_parts`], which
+    /// takes the recorded epoch verbatim.)
+    pub fn commit(&mut self, previous: &Router) {
+        self.epoch = previous.epoch + 1;
+    }
+}
+
+impl Restorable for Router {
+    const SNAPSHOT_KIND: &'static str = "router";
+
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.line(format_args!("r {} {}", self.epoch, self.shards));
+        for (&tenant, &shard) in &self.pins {
+            w.line(format_args!("p {tenant} {shard}"));
+        }
+    }
+
+    fn read_state(node: &SnapshotNode) -> Result<Self, ParseError> {
+        node.expect_kind(Self::SNAPSHOT_KIND)?;
+        let mut header: Option<(u64, usize)> = None;
+        let mut pins: Vec<(u64, usize)> = Vec::new();
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            match f.token("op")? {
+                "r" => {
+                    if header.is_some() {
+                        return Err(f.err("duplicate 'r' router header"));
+                    }
+                    let epoch = f.u64("epoch")?;
+                    let shards = f.usize("shard count")?;
+                    f.finish()?;
+                    header = Some((epoch, shards));
+                }
+                "p" => {
+                    let tenant = f.u64("pinned tenant")?;
+                    let shard = f.usize("pinned shard")?;
+                    f.finish()?;
+                    if pins.iter().any(|&(t, _)| t == tenant) {
+                        return Err(f.err(format!("tenant {tenant} pinned twice")));
+                    }
+                    pins.push((tenant, shard));
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unknown router snapshot op '{other}'"),
+                    })
+                }
+            }
+        }
+        let (epoch, shards) = header.ok_or(ParseError {
+            line: 0,
+            message: "router snapshot has no 'r' header".to_string(),
+        })?;
+        Router::from_parts(epoch, shards, pins).map_err(|e| ParseError {
+            line: 0,
+            message: format!("invalid router table: {e}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpinned_router_matches_plain_fnv_mod() {
+        // Bit-compatibility with the pre-router engine routing: snapshots
+        // and journals from earlier versions must keep replaying to the
+        // same shards.
+        let r = Router::new(7);
+        for id in (0..5_000u64).chain([u64::MAX, 1 << 48, (3 << 48) | 17]) {
+            assert_eq!(r.route(JobId(id)), (route_hash(JobId(id)) % 7) as usize);
+        }
+    }
+
+    #[test]
+    fn pins_isolate_and_shrink_the_hash_range() {
+        let r = Router::from_parts(1, 4, [(9u64, 3usize)]).unwrap();
+        // Tenant 9 always lands on its shard…
+        for ext in 0..200u64 {
+            assert_eq!(r.route(JobId((9 << TENANT_SHIFT) | ext)), 3);
+        }
+        // …and nothing else ever does.
+        for ext in 0..200u64 {
+            let shard = r.route(JobId(ext));
+            assert!(shard < 3, "unpinned id reached the pinned shard");
+        }
+    }
+
+    #[test]
+    fn tables_validate() {
+        assert_eq!(
+            Router::from_parts(0, 0, []).unwrap_err(),
+            RouterError::NoShards
+        );
+        assert_eq!(
+            Router::from_parts(0, 2, [(1u64, 2usize)]).unwrap_err(),
+            RouterError::PinOutOfRange {
+                tenant: 1,
+                shard: 2
+            }
+        );
+        assert_eq!(
+            Router::from_parts(0, 2, [(1u64, 0usize), (2, 1)]).unwrap_err(),
+            RouterError::NoOpenShard
+        );
+        // A pin beyond the new range is dropped by retarget, not fatal.
+        let r = Router::from_parts(2, 6, [(4u64, 5usize)]).unwrap();
+        let small = r.retarget(3).unwrap();
+        assert_eq!(small.pin_of(4), None);
+        assert_eq!(small.shards(), 3);
+        assert_eq!(small.epoch(), 2, "retarget does not bump the epoch");
+    }
+
+    #[test]
+    fn commit_bumps_and_snapshot_round_trips() {
+        let base = Router::new(4);
+        let mut next = base.retarget(6).unwrap().with_pin(7, 5).unwrap();
+        next.commit(&base);
+        assert_eq!(next.epoch(), 1);
+        assert!(!next.is_genesis());
+
+        let text = next.snapshot_text();
+        let back = Router::restore(&text).unwrap();
+        assert_eq!(back, next);
+        for id in 0..500u64 {
+            assert_eq!(back.route(JobId(id)), next.route(JobId(id)));
+        }
+    }
+
+    #[test]
+    fn malformed_router_sections_error_gracefully() {
+        let good = Router::from_parts(1, 3, [(2u64, 2usize)])
+            .unwrap()
+            .snapshot_text();
+        for (from, to) in [
+            ("r 1 3", "r 1 0"),        // zero shards
+            ("r 1 3", "r 1 3\nr 1 3"), // duplicate header
+            ("p 2 2", "p 2 9"),        // pin out of range
+            ("p 2 2", "p 2 2\np 2 1"), // tenant pinned twice
+            ("p 2 2", "p 2"),          // truncated pin
+            ("r 1 3", "q 1 3"),        // unknown op
+        ] {
+            let bad = good.replacen(from, to, 1);
+            assert!(Router::restore(&bad).is_err(), "accepted {to:?}");
+        }
+    }
+}

@@ -1,15 +1,16 @@
-//! Segmented event journal with checkpoint records and O(tail) recovery.
+//! Segmented event journal with checkpoint records, **epoch records**,
+//! and O(tail) recovery.
 //!
 //! Every flushed request is recorded together with its (netted) cost
 //! outcome. The text encoding extends the `realloc_core::textio` framing
 //! — one record per line, `#` comments ignored — with a config header,
-//! **checkpoint records**, and an optional truncation marker (v2
-//! framing):
+//! **checkpoint records**, **epoch records**, and an optional truncation
+//! marker (v3 framing):
 //!
 //! ```text
-//! # realloc-engine journal v2
-//! c 4 1 theorem1:8          # shards, machines/shard, backend
-//! T 2 13107                 # 2 truncated segments (13107 events) precede
+//! # realloc-engine journal v3
+//! c 4 1 theorem1:8 4        # GENESIS shards, machines/shard, backend,
+//! T 2 13107                 #   retention; 2 truncated segments precede
 //! s 40 13107 6812           # checkpoint: 40 batches, 13107 events before,
 //! # realloc snapshot v1     #   followed by 6812 verbatim snapshot lines
 //! !begin engine
@@ -18,7 +19,31 @@
 //! b 40                      # batch boundary
 //! + 0 17 4 12 ok 1 0        # shard 0: insert j17 [4,12) → 1 realloc
 //! - 2 9 err capacity        # shard 2: delete j9 rejected
+//! E 1 6 7 5                 # epoch record: epoch 1, resize to 6 shards,
+//! b 41                      #   tenant 7 pinned to shard 5
+//! + 5 17 4 12 ok 0 0
 //! ```
+//!
+//! # Versioning
+//!
+//! * **v1** — events only (one genesis segment, no checkpoints).
+//! * **v2** — adds the retention cap to the `c` header, checkpoint
+//!   records (`s` + embedded engine snapshot), and the `T` truncation
+//!   marker.
+//! * **v3** — adds **epoch records** (`E <epoch> <shards> [<tenant>
+//!   <shard>]…`): an elastic resize/rebalance appends one at its exact
+//!   position in the event stream, carrying the complete new routing
+//!   table. The `c` header's shard count becomes the *genesis* count;
+//!   the current count after replaying is whatever the last applied
+//!   epoch record (or checkpoint) says.
+//!
+//! The framing is self-describing, so every parser version accepts every
+//! earlier version's output: v1/v2 journals are exactly v3 journals that
+//! happen to contain no epoch records. Epoch records are validated at
+//! parse time — strictly increasing epochs (a duplicate or regressing
+//! epoch is corruption), at least one shard, a well-formed pin table,
+//! and never in the middle of a batch (the engine only reshards between
+//! flushes) — each violation a graceful [`ParseError`], never a panic.
 //!
 //! # Segments and checkpoints
 //!
@@ -47,6 +72,7 @@
 
 use crate::backend::BackendKind;
 use crate::{Engine, EngineConfig};
+use realloc_core::router::Router;
 use realloc_core::snapshot::SNAPSHOT_HEADER;
 use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, Request, Window};
@@ -175,6 +201,30 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// An epoch record: the complete routing table adopted by one elastic
+/// resize/rebalance, journaled at its exact position in the event stream
+/// so replay re-applies the same resharding at the same point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// The routing epoch this record advances to.
+    pub epoch: u64,
+    /// Shard count of the new table.
+    pub shards: usize,
+    /// Tenant pins of the new table, ordered by tenant.
+    pub pins: Vec<(u64, usize)>,
+}
+
+impl EpochRecord {
+    /// Captures a router's table as a journal record.
+    pub fn of(router: &Router) -> EpochRecord {
+        EpochRecord {
+            epoch: router.epoch(),
+            shards: router.shards(),
+            pins: router.pins().collect(),
+        }
+    }
+}
+
 /// A checkpoint: a full engine snapshot anchoring the start of a
 /// segment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -195,6 +245,21 @@ struct Segment {
     /// The checkpoint this segment starts from; `None` for genesis.
     base: Option<Checkpoint>,
     events: Vec<JournalEvent>,
+    /// Epoch records anchored at event offsets: `(pos, record)` means
+    /// the table changed after `events[..pos]` and before `events[pos..]`
+    /// (ascending `pos`, possibly `pos == events.len()` for a trailing
+    /// record).
+    epochs: Vec<(usize, EpochRecord)>,
+}
+
+impl Segment {
+    fn empty(base: Option<Checkpoint>) -> Segment {
+        Segment {
+            base,
+            events: Vec::new(),
+            epochs: Vec::new(),
+        }
+    }
 }
 
 /// Segmented engine event log; see the module docs.
@@ -214,10 +279,7 @@ impl Journal {
     /// Empty journal for an engine with `config`.
     pub fn new(config: EngineConfig) -> Self {
         let mut segments = VecDeque::new();
-        segments.push_back(Segment {
-            base: None,
-            events: Vec::new(),
-        });
+        segments.push_back(Segment::empty(None));
         Journal {
             config,
             segments,
@@ -231,13 +293,12 @@ impl Journal {
         &self.config
     }
 
-    /// Re-anchors the config (recovery: the parsed `c` header only
-    /// carries shards/machines/backend; the restored engine knows the
-    /// full configuration, retention cap included).
-    pub(crate) fn set_config(&mut self, config: EngineConfig) {
-        debug_assert_eq!(config.shards, self.config.shards);
-        debug_assert_eq!(config.backend, self.config.backend);
-        self.config = config;
+    /// Re-anchors the retention cap (recovery: truncation must follow
+    /// the restored engine's configuration). The rest of the config —
+    /// notably the *genesis* shard count, which an elastic engine's
+    /// current count can have drifted from — stays as recorded.
+    pub(crate) fn set_retention(&mut self, retained_segments: usize) {
+        self.config.retained_segments = retained_segments;
     }
 
     /// All retained events in service order (concatenated across
@@ -296,6 +357,27 @@ impl Journal {
             .push(event);
     }
 
+    /// Appends an epoch record at the current position (called by the
+    /// engine when a resize/rebalance adopts a new routing table).
+    pub fn append_epoch(&mut self, record: EpochRecord) {
+        let open = self
+            .segments
+            .back_mut()
+            .expect("journal always has an open segment");
+        let pos = open.events.len();
+        open.epochs.push((pos, record));
+    }
+
+    /// Retained epoch records, in order (the resize history still
+    /// covered by this journal; earlier epochs live inside checkpoint
+    /// snapshots).
+    pub fn epoch_records(&self) -> Vec<EpochRecord> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.epochs.iter().map(|(_, r)| r.clone()))
+            .collect()
+    }
+
     /// Seals the open segment and starts a new one anchored at the given
     /// engine snapshot, then drops sealed segments beyond the retention
     /// cap. Called by [`Engine::checkpoint`] between flushes.
@@ -306,14 +388,11 @@ impl Journal {
                 .iter()
                 .map(|s| s.events.len() as u64)
                 .sum::<u64>();
-        self.segments.push_back(Segment {
-            base: Some(Checkpoint {
-                batches,
-                events_before,
-                snapshot,
-            }),
-            events: Vec::new(),
-        });
+        self.segments.push_back(Segment::empty(Some(Checkpoint {
+            batches,
+            events_before,
+            snapshot,
+        })));
         // Truncate: keep at most `retained_segments` sealed segments.
         // Dropping from the front is always recovery-safe here: the
         // segment that becomes the new front was created by a checkpoint
@@ -331,11 +410,18 @@ impl Journal {
         }
     }
 
-    /// Serializes to the v2 line format (see module docs).
+    /// Serializes to the v3 line format (see module docs).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(self.event_count() * 24 + 64);
-        out.push_str("# realloc-engine journal v2\n");
+        out.push_str("# realloc-engine journal v3\n");
+        let write_epoch = |out: &mut String, rec: &EpochRecord| {
+            write!(out, "E {} {}", rec.epoch, rec.shards).unwrap();
+            for &(tenant, shard) in &rec.pins {
+                write!(out, " {tenant} {shard}").unwrap();
+            }
+            out.push('\n');
+        };
         // The header deliberately omits `parallel`: recordings are
         // execution-strategy agnostic (a pool-drained engine's journal
         // is byte-identical to a sequential one, and the property tests
@@ -364,7 +450,12 @@ impl Journal {
                 }
             }
             let mut batch = None;
-            for e in &seg.events {
+            let mut epochs = seg.epochs.iter().peekable();
+            for (idx, e) in seg.events.iter().enumerate() {
+                while epochs.peek().is_some_and(|&&(pos, _)| pos <= idx) {
+                    let (_, rec) = epochs.next().expect("peeked");
+                    write_epoch(&mut out, rec);
+                }
                 if batch != Some(e.batch) {
                     writeln!(out, "b {}", e.batch).unwrap();
                     batch = Some(e.batch);
@@ -385,6 +476,9 @@ impl Journal {
                     Ok(c) => writeln!(out, " ok {} {}", c.reallocations, c.migrations).unwrap(),
                     Err(code) => writeln!(out, " err {code}").unwrap(),
                 }
+            }
+            for (_, rec) in epochs {
+                write_epoch(&mut out, rec);
             }
         }
         out
@@ -408,11 +502,17 @@ impl Journal {
         let mut config: Option<EngineConfig> = None;
         let mut dropped: Option<(u64, u64)> = None;
         let mut segments: VecDeque<Segment> = VecDeque::new();
-        segments.push_back(Segment {
-            base: None,
-            events: Vec::new(),
-        });
+        segments.push_back(Segment::empty(None));
         let mut batch = 0u64;
+        // Epoch-record validation state: epochs must strictly increase
+        // across the document, and a record may never split a batch (the
+        // engine only reshards between flushes, so an in-batch record is
+        // tampering). `barrier` holds the batch of the event immediately
+        // preceding the latest epoch record; the next event must belong
+        // to a different batch.
+        let mut last_epoch: Option<u64> = None;
+        let mut last_event_batch: Option<u64> = None;
+        let mut barrier: Option<u64> = None;
 
         let mut lines = text.lines().enumerate().peekable();
         while let Some((i, raw)) = lines.next() {
@@ -498,14 +598,55 @@ impl Journal {
                             "checkpoint body does not start with '{SNAPSHOT_HEADER}'"
                         )));
                     }
-                    segments.push_back(Segment {
-                        base: Some(Checkpoint {
-                            batches,
-                            events_before,
-                            snapshot,
-                        }),
-                        events: Vec::new(),
-                    });
+                    segments.push_back(Segment::empty(Some(Checkpoint {
+                        batches,
+                        events_before,
+                        snapshot,
+                    })));
+                    // A checkpoint implies a flush boundary; no batch can
+                    // span it.
+                    last_event_batch = None;
+                    barrier = None;
+                }
+                "E" => {
+                    let epoch = num(parts.next(), "epoch")?;
+                    let shards = num(parts.next(), "epoch shard count")? as usize;
+                    if let Some(prev) = last_epoch {
+                        if epoch <= prev {
+                            return Err(err(format!(
+                                "epoch record {epoch} does not advance past epoch {prev} \
+                                 (duplicate or regressing epoch)"
+                            )));
+                        }
+                    }
+                    let mut pins: Vec<(u64, usize)> = Vec::new();
+                    while let Some(tenant_tok) = parts.next() {
+                        let tenant = tenant_tok
+                            .parse::<u64>()
+                            .map_err(|e| err(format!("bad pinned tenant: {e}")))?;
+                        let shard =
+                            num(parts.next(), "pin shard (truncated router table)")? as usize;
+                        if pins.iter().any(|&(t, _)| t == tenant) {
+                            return Err(err(format!("tenant {tenant} pinned twice")));
+                        }
+                        pins.push((tenant, shard));
+                    }
+                    // Full table validation (shards >= 1, pins in range,
+                    // at least one unpinned shard) via the router itself.
+                    Router::from_parts(epoch, shards, pins.iter().copied())
+                        .map_err(|e| err(format!("invalid epoch record: {e}")))?;
+                    last_epoch = Some(epoch);
+                    barrier = last_event_batch;
+                    let open = segments.back_mut().expect("open segment");
+                    let pos = open.events.len();
+                    open.epochs.push((
+                        pos,
+                        EpochRecord {
+                            epoch,
+                            shards,
+                            pins,
+                        },
+                    ));
                 }
                 "b" => batch = num(parts.next(), "batch")?,
                 "+" | "-" => {
@@ -541,6 +682,16 @@ impl Journal {
                         }
                         other => return Err(err(format!("bad outcome tag '{other}'"))),
                     };
+                    if let Some(b) = barrier {
+                        if b == batch {
+                            return Err(err(format!(
+                                "epoch record in the middle of batch {batch} \
+                                 (reshards only happen between flushes)"
+                            )));
+                        }
+                        barrier = None;
+                    }
+                    last_event_batch = Some(batch);
                     segments
                         .back_mut()
                         .expect("genesis segment")
@@ -636,19 +787,19 @@ impl Journal {
                 let engine =
                     Engine::restore_snapshot(&cp.snapshot).map_err(ReplayError::Corrupt)?;
                 let cfg = engine.config();
-                if cfg.shards != self.config.shards
-                    || cfg.machines_per_shard != self.config.machines_per_shard
+                // The shard count is deliberately NOT cross-checked: the
+                // header records the genesis count, and epoch records in
+                // between can have resized the engine arbitrarily.
+                if cfg.machines_per_shard != self.config.machines_per_shard
                     || cfg.backend != self.config.backend
                 {
                     return Err(ReplayError::Corrupt(ParseError {
                         line: 0,
                         message: format!(
-                            "checkpoint config ({} shards, {} machines, {}) does not match \
-                             the journal header ({} shards, {} machines, {})",
-                            cfg.shards,
+                            "checkpoint config ({} machines/shard, {}) does not match \
+                             the journal header ({} machines/shard, {})",
                             cfg.machines_per_shard,
                             cfg.backend,
-                            self.config.shards,
                             self.config.machines_per_shard,
                             self.config.backend
                         ),
@@ -672,8 +823,34 @@ impl Journal {
             .skip(start)
             .flat_map(|s| s.events.iter().copied())
             .collect();
+        // Epoch records of the replayed segments, re-anchored at global
+        // tail positions; each is applied exactly where the recorded
+        // engine resharded.
+        let mut epochs: Vec<(usize, &EpochRecord)> = Vec::new();
+        let mut seg_offset = 0usize;
+        for s in self.segments.iter().skip(start) {
+            for (pos, rec) in &s.epochs {
+                epochs.push((seg_offset + pos, rec));
+            }
+            seg_offset += s.events.len();
+        }
+        let mut next_epoch = 0usize;
+        let apply = |engine: &mut Engine,
+                     up_to: usize,
+                     next_epoch: &mut usize|
+         -> Result<(), ReplayError> {
+            while *next_epoch < epochs.len() && epochs[*next_epoch].0 <= up_to {
+                let (_, rec) = epochs[*next_epoch];
+                engine
+                    .apply_epoch(rec)
+                    .map_err(|message| ReplayError::Corrupt(ParseError { line: 0, message }))?;
+                *next_epoch += 1;
+            }
+            Ok(())
+        };
         let mut idx = 0usize;
         while idx < tail.len() {
+            apply(&mut engine, idx, &mut next_epoch)?;
             let batch = tail[idx].batch;
             let mut end = idx;
             while end < tail.len() && tail[end].batch == batch {
@@ -703,6 +880,10 @@ impl Journal {
             }
             idx = end;
         }
+        // Trailing epoch records (a resize after the last recorded
+        // event) still apply — the recovered engine must serve at the
+        // recorded epoch.
+        apply(&mut engine, tail.len(), &mut next_epoch)?;
         // Replay re-numbers flushes by *eventful* batches only — empty
         // pre-crash flushes left no events, so the replayed counter can
         // lag the recorded batch numbers. Resuming recording with a

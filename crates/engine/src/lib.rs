@@ -33,6 +33,15 @@
 //!   O(history) — while [`journal::Journal::replay`] keeps the full
 //!   audit path with divergence detection. Shard/engine migration is
 //!   "snapshot, ship, restore" ([`Engine::restore_snapshot`]).
+//! * **Elasticity** — a hot engine grows and shrinks **online**:
+//!   [`Engine::resize`] snapshot-ships every affected job onto a freshly
+//!   routed shard set without dropping queued requests or zeroing
+//!   telemetry, and [`Engine::rebalance`] isolates a dominant tenant
+//!   onto a dedicated shard. The router is epoch-versioned
+//!   ([`realloc_core::router::Router`]); every resize appends an epoch
+//!   record to the journal (v3 framing), so replay and recovery
+//!   re-apply the same routing changes at the same positions and land
+//!   on byte-identical placements.
 //!
 //! # Quickstart
 //!
@@ -73,16 +82,19 @@ pub mod shard;
 
 pub use backend::{Backend, BackendKind};
 pub use batch::BatchReport;
-pub use journal::{Checkpoint, Journal, JournalEvent, ReplayDivergence, ReplayError};
-pub use metrics::Metrics;
+pub use journal::{Checkpoint, EpochRecord, Journal, JournalEvent, ReplayDivergence, ReplayError};
+pub use metrics::{Carryover, Metrics};
+pub use realloc_core::router::Router as EngineRouter;
 
 use crate::journal::Costs;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardDrain};
 use realloc_core::cost::Placement;
+use realloc_core::router::{tenant_of, Router, RouterError};
 use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
 use realloc_core::textio::ParseError;
-use realloc_core::{Error, JobId, Request, RequestSeq};
+use realloc_core::{Error, JobId, Request, RequestSeq, ValidationError, Window};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Locks one shard cell (uncontended outside a concurrent flush).
@@ -101,8 +113,9 @@ pub(crate) fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
 pub struct TenantId(pub u16);
 
 /// Bits of the global job-id space reserved for the external id; the
-/// tenant id occupies the bits above.
-const TENANT_SHIFT: u32 = 48;
+/// tenant id occupies the bits above. (Defined in `realloc_core::router`
+/// so routing tables can pin tenants without depending on this crate.)
+pub use realloc_core::router::TENANT_SHIFT;
 
 /// Engine configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -155,9 +168,17 @@ impl Default for EngineConfig {
 /// concurrent flush (the engine is the only other lock holder).
 pub struct Engine {
     cfg: EngineConfig,
+    /// Versioned routing table; `cfg.shards` always equals
+    /// `router.shards()` (both track the *current* size after resizes).
+    router: Router,
     shards: Vec<Arc<Mutex<Shard>>>,
+    /// Telemetry inherited from shards retired by resizes.
+    carry: Carryover,
     /// Persistent drain workers, present iff `cfg.parallel` with > 1 shard.
     pool: Option<WorkerPool>,
+    /// `force_parallel_pool` was called: reshards rebuild a forced pool
+    /// too, so the test hook survives resizes.
+    pool_forced: bool,
     journal: Option<Journal>,
     batches: u64,
 }
@@ -194,9 +215,12 @@ impl Engine {
         let pool = Self::build_pool(&cfg, &shards);
         let journal = cfg.journal.then(|| Journal::new(cfg.clone()));
         Engine {
+            router: Router::new(cfg.shards),
             cfg,
             shards,
+            carry: Carryover::default(),
             pool,
+            pool_forced: false,
             journal,
             batches: 0,
         }
@@ -210,6 +234,18 @@ impl Engine {
             .then(|| WorkerPool::new(shards))
     }
 
+    /// The forced (test-hook) pool: production sizing floored at two
+    /// workers, so cross-worker chunking is exercised even when the
+    /// host's parallelism would drain inline. Shared by
+    /// [`Engine::force_parallel_pool`] and the reshard rebuild so the
+    /// two can never drift apart. `None` with a single shard.
+    fn forced_pool(shards: &[Arc<Mutex<Shard>>]) -> Option<WorkerPool> {
+        (shards.len() > 1).then(|| {
+            let threads = WorkerPool::threads_for(shards.len()).max(2);
+            WorkerPool::with_threads(shards, threads)
+        })
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
@@ -220,12 +256,17 @@ impl Engine {
     /// the engine drain inline (see [`EngineConfig::parallel`]). Lets
     /// the pool/journal equivalence property tests exercise the real
     /// cross-worker barrier and chunk reassembly on single-core CI
-    /// runners. No-op when a pool already exists or with one shard.
+    /// runners. Thread count is derived from [`WorkerPool::threads_for`]
+    /// — the production sizing — floored at two workers so the hook
+    /// still forces real cross-thread chunking on single-core hosts;
+    /// on multi-core hosts it therefore matches what
+    /// `EngineConfig::parallel` would build. Sticky: reshards rebuild a
+    /// forced pool too. No-op with a single shard.
     #[doc(hidden)]
     pub fn force_parallel_pool(&mut self) {
-        if self.pool.is_none() && self.shards.len() > 1 {
-            let threads = self.shards.len().clamp(2, 4);
-            self.pool = Some(WorkerPool::with_threads(&self.shards, threads));
+        self.pool_forced = true;
+        if self.pool.is_none() {
+            self.pool = Self::forced_pool(&self.shards);
         }
     }
 
@@ -235,16 +276,24 @@ impl Engine {
     }
 
     /// The shard a job id routes to — a pure function of the id and the
-    /// shard count (FNV-1a over the id bytes), so routing is
-    /// deterministic, stable across engine instances, and maps a job's
-    /// delete to the shard that serviced its insert.
+    /// current routing table ([`Router`]: FNV-1a hash over the unpinned
+    /// shards, tenant pins honored first), so routing is deterministic,
+    /// stable across engine instances at the same epoch, and maps a
+    /// job's delete to the shard that serviced its insert. Resizes swap
+    /// the table ([`Engine::resize`]) and physically re-home every
+    /// affected job, so the invariant holds across epochs too.
     pub fn shard_of(&self, id: JobId) -> usize {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in id.0.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        (h % self.shards.len() as u64) as usize
+        self.router.route(id)
+    }
+
+    /// The current routing table.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The current routing epoch (0 until the first resize/rebalance).
+    pub fn epoch(&self) -> u64 {
+        self.router.epoch()
     }
 
     /// Enqueues a request for the next flush, addressing the **raw
@@ -356,14 +405,21 @@ impl Engine {
         self.shards.iter().map(|s| lock(s).active_count()).sum()
     }
 
+    /// Original window of an active job (on whichever shard holds it).
+    pub fn window_of(&self, id: JobId) -> Option<Window> {
+        lock(&self.shards[self.router.route(id)]).window_of(id)
+    }
+
     /// Completed flushes.
     pub fn batches(&self) -> u64 {
         self.batches
     }
 
-    /// Point-in-time telemetry snapshot.
+    /// Point-in-time telemetry snapshot. Lifetime totals include shards
+    /// retired by resizes (the carryover); per-shard rows are live
+    /// shards only.
     pub fn metrics(&self) -> Metrics {
-        Metrics::collect(&self.shards)
+        Metrics::collect(&self.shards, &self.carry, self.router.epoch())
     }
 
     /// The journal, when enabled in the config.
@@ -391,16 +447,218 @@ impl Engine {
     }
 
     /// Total netted costs serviced across shards (journal-free view of
-    /// the headline numbers).
+    /// the headline numbers), resize carryover included.
     pub fn total_costs(&self) -> Costs {
         Costs {
-            reallocations: self
-                .shards
-                .iter()
-                .map(|s| lock(s).total_reallocations())
-                .sum(),
-            migrations: self.shards.iter().map(|s| lock(s).total_migrations()).sum(),
+            reallocations: self.carry.reallocations
+                + self
+                    .shards
+                    .iter()
+                    .map(|s| lock(s).total_reallocations())
+                    .sum::<u64>(),
+            migrations: self.carry.migrations
+                + self
+                    .shards
+                    .iter()
+                    .map(|s| lock(s).total_migrations())
+                    .sum::<u64>(),
         }
+    }
+
+    /// Full engine invariant check: every shard's schedule validates
+    /// against its active windows (placements in-window, no collisions,
+    /// machines in range — [`realloc_core::schedule::validate`]) and
+    /// every active job routes to the shard that holds it under the
+    /// current table. The post-condition of every flush and every resize.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, cell) in self.shards.iter().enumerate() {
+            let shard = lock(cell);
+            let active: BTreeMap<JobId, Window> = shard.active_jobs().into_iter().collect();
+            realloc_core::schedule::validate(
+                &shard.snapshot(),
+                &active,
+                self.cfg.machines_per_shard,
+            )
+            .map_err(|e: ValidationError| format!("shard {i}: {e}"))?;
+            for &id in active.keys() {
+                let routed = self.router.route(id);
+                if routed != i {
+                    return Err(format!(
+                        "job {id} lives on shard {i} but routes to {routed} at epoch {}",
+                        self.router.epoch()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic resharding
+    // ------------------------------------------------------------------
+
+    /// Resizes the engine to `new_shards` shards **online**: every active
+    /// job is snapshot-shipped into the shard the new routing table
+    /// assigns it, pending (unflushed) queue entries are re-routed
+    /// without loss, telemetry totals are carried over, the worker pool
+    /// is rebuilt for the new shard count, and — when the journal is
+    /// enabled — an epoch record is appended so replay and recovery
+    /// re-apply the same resize at the same position.
+    ///
+    /// Tenant pins that still fit the new shard range are kept; pins to
+    /// shards `>= new_shards` are dropped (those tenants fall back to
+    /// hash routing).
+    ///
+    /// The rebuild is **all-or-nothing**: jobs are re-placed into a fresh
+    /// shard set in a canonical order (ascending window span, then start,
+    /// then id — the order with the strongest acceptance guarantee for
+    /// the reservation schedulers), and if any job cannot be placed (a
+    /// shrink can concentrate load beyond a shard's capacity) the engine
+    /// is left exactly as it was and [`ResizeError::Infeasible`] is
+    /// returned.
+    pub fn resize(&mut self, new_shards: usize) -> Result<ResizeReport, ResizeError> {
+        let table = self.router.retarget(new_shards)?;
+        self.reshard(table)
+    }
+
+    /// Tenant-aware rebalancing: when one tenant dominates the active set
+    /// (≥ [`Engine::REBALANCE_SHARE`] of all active jobs) and is not
+    /// already pinned, grows the engine by one shard and pins that
+    /// tenant to it. The whale's jobs stop consuming the density budgets
+    /// of every hash shard (under hash routing a heavy tenant's jobs
+    /// spread everywhere, crowding other tenants toward capacity
+    /// rejections), and hash traffic keeps the old shards to itself.
+    ///
+    /// Returns `Ok(None)` when no tenant qualifies — rebalancing is a
+    /// no-op on balanced traffic, so it is safe to call periodically.
+    pub fn rebalance(&mut self) -> Result<Option<ResizeReport>, ResizeError> {
+        let mut per_tenant: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for cell in &self.shards {
+            for (id, _) in lock(cell).active_jobs() {
+                *per_tenant.entry(tenant_of(id)).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        // Largest tenant; ties broken toward the smallest id (BTreeMap
+        // iteration order + strict `>`), so the choice is deterministic.
+        let Some((&whale, &count)) = per_tenant
+            .iter()
+            .max_by(|a, b| (a.1, std::cmp::Reverse(a.0)).cmp(&(b.1, std::cmp::Reverse(b.0))))
+        else {
+            return Ok(None);
+        };
+        if (count as f64) < Self::REBALANCE_SHARE * total as f64 {
+            return Ok(None);
+        }
+        if self.router.pin_of(whale).is_some() {
+            return Ok(None); // already isolated
+        }
+        let dedicated = self.router.shards();
+        let table = self
+            .router
+            .retarget(dedicated + 1)?
+            .with_pin(whale, dedicated)?;
+        self.reshard(table).map(Some)
+    }
+
+    /// Active-set share above which [`Engine::rebalance`] isolates a
+    /// tenant onto a dedicated shard.
+    pub const REBALANCE_SHARE: f64 = 0.5;
+
+    /// Adopts `table` (epoch bumped past the current one) and physically
+    /// re-homes all state. See [`Engine::resize`] for the contract; this
+    /// is also the replay path for journal epoch records, which is why
+    /// everything here must be a pure function of the engine state and
+    /// the table.
+    fn reshard(&mut self, mut table: Router) -> Result<ResizeReport, ResizeError> {
+        table.commit(&self.router);
+        self.reshard_at(table)
+    }
+
+    /// [`Engine::reshard`] with the epoch taken from `table` verbatim
+    /// (journal replay re-applies recorded epochs rather than
+    /// recounting).
+    fn reshard_at(&mut self, table: Router) -> Result<ResizeReport, ResizeError> {
+        // Gather every active job with its current home, then re-place
+        // into a fresh shard set in canonical order. The old shards stay
+        // untouched until the rebuild fully succeeds.
+        let mut jobs: Vec<(JobId, Window, usize)> = Vec::new();
+        for (i, cell) in self.shards.iter().enumerate() {
+            for (id, w) in lock(cell).active_jobs() {
+                jobs.push((id, w, i));
+            }
+        }
+        jobs.sort_by_key(|&(id, w, _)| (w.span(), w.start(), id));
+        let mut fresh: Vec<Shard> = (0..table.shards())
+            .map(|i| Shard::new(i, self.cfg.backend, self.cfg.machines_per_shard))
+            .collect();
+        let mut moved = 0usize;
+        for &(id, window, old_home) in &jobs {
+            let home = table.route(id);
+            fresh[home]
+                .adopt(id, window)
+                .map_err(|source| ResizeError::Infeasible {
+                    job: id,
+                    shard: home,
+                    detail: source.to_string(),
+                })?;
+            if home != old_home {
+                moved += 1;
+            }
+        }
+        // Re-route pending queue entries: old shards in index order, each
+        // queue FIFO. Two requests for the same job were queued on the
+        // same old shard (routing is per-id), so their relative order —
+        // the only order that affects outcomes — survives.
+        let mut queued = 0usize;
+        for cell in &self.shards {
+            for request in lock(cell).take_queue() {
+                fresh[table.route(request.job_id())].enqueue(request);
+                queued += 1;
+            }
+        }
+        // Point of no return: retire the old shards into the carryover
+        // and swap in the new set, table, and pool.
+        for cell in &self.shards {
+            self.carry.absorb(&lock(cell));
+        }
+        let report = ResizeReport {
+            epoch: table.epoch(),
+            from_shards: self.router.shards(),
+            to_shards: table.shards(),
+            jobs: jobs.len(),
+            jobs_moved: moved,
+            queued_preserved: queued,
+        };
+        self.shards = fresh.into_iter().map(|s| Arc::new(Mutex::new(s))).collect();
+        self.cfg.shards = table.shards();
+        self.router = table;
+        self.pool = Self::build_pool(&self.cfg, &self.shards);
+        if self.pool.is_none() && self.pool_forced {
+            self.pool = Self::forced_pool(&self.shards);
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append_epoch(EpochRecord::of(&self.router));
+        }
+        Ok(report)
+    }
+
+    /// Applies a journal epoch record during replay/recovery: validates
+    /// the epoch advances, rebuilds the table, and reshards exactly as
+    /// the recorded engine did.
+    pub(crate) fn apply_epoch(&mut self, record: &EpochRecord) -> Result<(), String> {
+        if record.epoch <= self.router.epoch() {
+            return Err(format!(
+                "epoch record {} does not advance the current epoch {}",
+                record.epoch,
+                self.router.epoch()
+            ));
+        }
+        let table = Router::from_parts(record.epoch, record.shards, record.pins.iter().copied())
+            .map_err(|e| e.to_string())?;
+        self.reshard_at(table).map_err(|e| e.to_string())?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -456,22 +714,32 @@ impl Engine {
     }
 
     /// Replaces the journal with a fresh, empty one (replay bookkeeping).
+    /// An engine already past epoch 0 seeds the new journal with an
+    /// epoch record at position zero, so the fresh recording is
+    /// self-describing: its replay starts at the journal header's shard
+    /// count and immediately applies the live routing table (a no-op
+    /// re-home of an empty genesis engine).
     pub(crate) fn reset_journal(&mut self) {
         let mut cfg = self.cfg.clone();
         cfg.journal = true;
         self.cfg.journal = true;
-        self.journal = Some(Journal::new(cfg));
+        let mut journal = Journal::new(cfg);
+        if !self.router.is_genesis() {
+            journal.append_epoch(EpochRecord::of(&self.router));
+        }
+        self.journal = Some(journal);
     }
 
     /// Attaches an existing journal (recovery hands the recovered engine
-    /// its own history so recording continues seamlessly). The journal's
-    /// config is re-anchored to this engine's: the serialized `c` header
-    /// only carries shards/machines/backend, but truncation behavior
-    /// (`retained_segments`) must follow the restored configuration, not
-    /// the parser's default.
+    /// its own history so recording continues seamlessly). Truncation
+    /// behavior must follow the restored configuration — the serialized
+    /// journal header's retention cap, not the parser's default — so the
+    /// cap is re-anchored here; the journal's own config (the *genesis*
+    /// shard count, which can differ from the current one after resizes)
+    /// is otherwise left alone.
     pub(crate) fn attach_journal(&mut self, mut journal: Journal) {
         self.cfg.journal = true;
-        journal.set_config(self.cfg.clone());
+        journal.set_retention(self.cfg.retained_segments);
         self.journal = Some(journal);
     }
 
@@ -482,6 +750,62 @@ impl Engine {
         self.batches = self.batches.max(batch.saturating_add(1));
     }
 }
+
+/// What one [`Engine::resize`] / [`Engine::rebalance`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResizeReport {
+    /// The routing epoch the engine now serves at.
+    pub epoch: u64,
+    /// Shard count before the resize.
+    pub from_shards: usize,
+    /// Shard count after.
+    pub to_shards: usize,
+    /// Active jobs re-placed during the rebuild.
+    pub jobs: usize,
+    /// Jobs whose home shard actually changed.
+    pub jobs_moved: usize,
+    /// Pending queue entries carried across (never dropped).
+    pub queued_preserved: usize,
+}
+
+/// Why a resize was refused. The engine is left exactly as it was.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResizeError {
+    /// The requested routing table was invalid (zero shards, pins out of
+    /// range or covering every shard).
+    Router(RouterError),
+    /// A job could not be re-placed on its new shard (shrinking
+    /// concentrated more load than the shard's backend can hold).
+    Infeasible {
+        /// The job that failed to place.
+        job: JobId,
+        /// The shard it routed to.
+        shard: usize,
+        /// The backend's rejection.
+        detail: String,
+    },
+}
+
+impl From<RouterError> for ResizeError {
+    fn from(e: RouterError) -> Self {
+        ResizeError::Router(e)
+    }
+}
+
+impl std::fmt::Display for ResizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResizeError::Router(e) => write!(f, "resize rejected: {e}"),
+            ResizeError::Infeasible { job, shard, detail } => write!(
+                f,
+                "resize infeasible: job {job} does not fit shard {shard} ({detail}); \
+                 engine unchanged"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResizeError {}
 
 /// Why [`Engine::recover`] failed.
 #[derive(Debug)]
@@ -538,6 +862,18 @@ impl Restorable for Engine {
             self.cfg.retained_segments,
             self.batches
         ));
+        // Resize carryover: totals line + histogram (header + non-empty
+        // buckets), mirroring the per-shard telemetry encoding.
+        w.line(format_args!(
+            "t {} {} {} {}",
+            self.carry.requests, self.carry.failed, self.carry.reallocations, self.carry.migrations
+        ));
+        let (count, sum, max, overflow) = self.carry.hist.parts();
+        w.line(format_args!("h {count} {sum} {max} {overflow}"));
+        for (cost, n) in self.carry.hist.nonzero_buckets() {
+            w.line(format_args!("hb {cost} {n}"));
+        }
+        w.child(&self.router);
         for shard in &self.shards {
             lock(shard).write_state(w);
         }
@@ -546,9 +882,46 @@ impl Restorable for Engine {
     fn read_state(node: &SnapshotNode) -> Result<Self, ParseError> {
         node.expect_kind(Self::SNAPSHOT_KIND)?;
         let mut header: Option<(EngineConfig, u64)> = None;
+        // Carryover lines are optional: snapshots recorded before elastic
+        // resharding existed have neither, and restore to zero carryover.
+        let mut carry_totals: Option<(u64, u64, u64, u64)> = None;
+        let mut carry_hist: Option<(u64, u64, u64, u64)> = None;
+        let mut carry_buckets: Vec<(usize, u64)> = Vec::new();
         for (line, content) in &node.lines {
             let mut f = Fields::of(*line, content);
             match f.token("op")? {
+                "t" => {
+                    if carry_totals.is_some() {
+                        return Err(f.err("duplicate 't' carryover line"));
+                    }
+                    let v = (
+                        f.u64("carryover requests")?,
+                        f.u64("carryover failed")?,
+                        f.u64("carryover reallocations")?,
+                        f.u64("carryover migrations")?,
+                    );
+                    f.finish()?;
+                    carry_totals = Some(v);
+                }
+                "h" => {
+                    if carry_hist.is_some() {
+                        return Err(f.err("duplicate 'h' carryover histogram line"));
+                    }
+                    let v = (
+                        f.u64("count")?,
+                        f.u64("sum")?,
+                        f.u64("max")?,
+                        f.u64("overflow")?,
+                    );
+                    f.finish()?;
+                    carry_hist = Some(v);
+                }
+                "hb" => {
+                    let cost = f.usize("bucket cost")?;
+                    let n = f.u64("bucket count")?;
+                    f.finish()?;
+                    carry_buckets.push((cost, n));
+                }
                 "c" => {
                     if header.is_some() {
                         return Err(f.err("duplicate 'c' config line"));
@@ -595,6 +968,82 @@ impl Restorable for Engine {
             line: 0,
             message: "engine snapshot has no 'c' config line".to_string(),
         })?;
+        let carry = match (carry_totals, carry_hist) {
+            (None, None) if carry_buckets.is_empty() => Carryover::default(),
+            (Some((requests, failed, reallocations, migrations)), Some((cn, cs, cm, co))) => {
+                // Untrusted-snapshot arithmetic is checked, not trusted:
+                // a forged carryover near u64::MAX would overflow the
+                // carry + live-shard sums in `metrics`/`total_costs`.
+                // 2^48 is absurd headroom for real lifetimes and leaves
+                // 2^16 of summation slack.
+                const CARRY_LIMIT: u64 = u64::MAX >> 16;
+                for (what, v) in [
+                    ("requests", requests),
+                    ("failed", failed),
+                    ("reallocations", reallocations),
+                    ("migrations", migrations),
+                    ("histogram count", cn),
+                    ("histogram sum", cs),
+                ] {
+                    if v > CARRY_LIMIT {
+                        return Err(ParseError {
+                            line: 0,
+                            message: format!("carryover {what} {v} exceeds the sanity bound"),
+                        });
+                    }
+                }
+                let hist =
+                    crate::metrics::CostHistogram::from_parts(cn, cs, cm, co, &carry_buckets)
+                        .map_err(|message| ParseError {
+                            line: 0,
+                            message: format!("carryover histogram: {message}"),
+                        })?;
+                // Retired shards uphold requests == histogram count, so
+                // their union must too.
+                if requests != hist.count() {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!(
+                            "carryover records {requests} requests but the histogram holds {}",
+                            hist.count()
+                        ),
+                    });
+                }
+                Carryover {
+                    requests,
+                    failed,
+                    reallocations,
+                    migrations,
+                    hist,
+                }
+            }
+            _ => {
+                return Err(ParseError {
+                    line: 0,
+                    message: "carryover 't'/'h' lines must appear together".to_string(),
+                })
+            }
+        };
+        // The router section is optional for the same reason: earlier
+        // snapshots predate it, and their engines were always at the
+        // genesis table for their recorded shard count.
+        let router = match node.children_of(Router::SNAPSHOT_KIND).next() {
+            Some(rn) => {
+                let router = Router::read_state(rn)?;
+                if router.shards() != cfg.shards {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!(
+                            "router table covers {} shards but the engine config says {}",
+                            router.shards(),
+                            cfg.shards
+                        ),
+                    });
+                }
+                router
+            }
+            None => Router::new(cfg.shards),
+        };
         let shard_nodes: Vec<&SnapshotNode> = node.children_of("shard").collect();
         if shard_nodes.len() != cfg.shards {
             return Err(ParseError {
@@ -618,11 +1067,20 @@ impl Restorable for Engine {
             shards.push(Arc::new(Mutex::new(shard)));
         }
         let pool = Self::build_pool(&cfg, &shards);
-        let journal = cfg.journal.then(|| Journal::new(cfg.clone()));
+        let journal = cfg.journal.then(|| {
+            let mut journal = Journal::new(cfg.clone());
+            if !router.is_genesis() {
+                journal.append_epoch(EpochRecord::of(&router));
+            }
+            journal
+        });
         Ok(Engine {
             cfg,
+            router,
             shards,
+            carry,
             pool,
+            pool_forced: false,
             journal,
             batches,
         })

@@ -178,6 +178,40 @@ impl CostHistogram {
     }
 }
 
+/// Totals inherited from shards retired by elastic resizes.
+///
+/// A reshard dissolves every shard and rebuilds the active jobs on a
+/// fresh shard set; the dissolved shards' serviced-request counters and
+/// cost histograms are *historical facts* that must survive the rebuild
+/// (resizing an engine must not zero its telemetry), so they fold into
+/// this engine-level accumulator. [`Metrics`] totals are always
+/// `carryover + live shards`; per-shard rows describe live shards only.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Carryover {
+    /// Requests serviced by retired shards.
+    pub requests: u64,
+    /// Requests rejected on retired shards.
+    pub failed: u64,
+    /// Reallocations performed on retired shards.
+    pub reallocations: u64,
+    /// Migrations performed on retired shards.
+    pub migrations: u64,
+    /// Per-request cost distribution recorded on retired shards.
+    pub hist: CostHistogram,
+}
+
+impl Carryover {
+    /// Folds a retiring shard's counters and histogram in.
+    pub(crate) fn absorb(&mut self, shard: &Shard) {
+        let (requests, failed, reallocations, migrations) = shard.stat_parts();
+        self.requests += requests;
+        self.failed += failed;
+        self.reallocations += reallocations;
+        self.migrations += migrations;
+        self.hist.merge(shard.cost_histogram());
+    }
+}
+
 /// Cost-distribution summary of per-request reallocation counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostPercentiles {
@@ -227,28 +261,33 @@ pub struct ShardMetrics {
 /// Point-in-time telemetry for the whole engine.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Metrics {
-    /// Per-shard rows, indexed by shard id.
+    /// Per-shard rows, indexed by shard id (live shards only; totals
+    /// below also include shards retired by resizes).
     pub shards: Vec<ShardMetrics>,
-    /// Sum of per-shard serviced requests.
+    /// Routing epoch the engine is serving at (0 until the first resize).
+    pub epoch: u64,
+    /// Requests serviced, lifetime (live shards + resize carryover).
     pub requests: u64,
-    /// Sum of per-shard rejections.
+    /// Requests rejected, lifetime.
     pub failed: u64,
     /// Total active jobs.
     pub active_jobs: u64,
-    /// Total reallocations.
+    /// Total reallocations, lifetime.
     pub reallocations: u64,
-    /// Total migrations.
+    /// Total migrations, lifetime.
     pub migrations: u64,
     /// Engine-wide per-request cost distribution (merged shard
-    /// histograms, not an average of averages).
+    /// histograms plus carryover, not an average of averages).
     pub cost: CostPercentiles,
 }
 
 impl Metrics {
     /// Builds a snapshot from the engine's shard cells (each shard is
-    /// locked once, briefly — metrics reads never overlap a flush).
-    pub(crate) fn collect(shards: &[Arc<Mutex<Shard>>]) -> Metrics {
-        let mut union = CostHistogram::new();
+    /// locked once, briefly — metrics reads never overlap a flush),
+    /// folding in the resize carryover so lifetime totals survive
+    /// reshards.
+    pub(crate) fn collect(shards: &[Arc<Mutex<Shard>>], carry: &Carryover, epoch: u64) -> Metrics {
+        let mut union = carry.hist.clone();
         let rows: Vec<ShardMetrics> = shards
             .iter()
             .map(|s| {
@@ -266,11 +305,12 @@ impl Metrics {
             })
             .collect();
         Metrics {
-            requests: rows.iter().map(|r| r.requests).sum(),
-            failed: rows.iter().map(|r| r.failed).sum(),
+            epoch,
+            requests: carry.requests + rows.iter().map(|r| r.requests).sum::<u64>(),
+            failed: carry.failed + rows.iter().map(|r| r.failed).sum::<u64>(),
             active_jobs: rows.iter().map(|r| r.active_jobs).sum(),
-            reallocations: rows.iter().map(|r| r.reallocations).sum(),
-            migrations: rows.iter().map(|r| r.migrations).sum(),
+            reallocations: carry.reallocations + rows.iter().map(|r| r.reallocations).sum::<u64>(),
+            migrations: carry.migrations + rows.iter().map(|r| r.migrations).sum::<u64>(),
             cost: CostPercentiles::of(&union),
             shards: rows,
         }

@@ -150,6 +150,43 @@ impl Shard {
         self.active.get(&id).copied()
     }
 
+    /// Every active job with its original window, sorted by id.
+    pub fn active_jobs(&self) -> Vec<(JobId, Window)> {
+        let mut out: Vec<(JobId, Window)> = self.active.iter().map(|(&id, &w)| (id, w)).collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Adopts an already-active job during a reshard rebuild: places it
+    /// through the backend and records it active, **without** touching
+    /// the request counters, cost totals, or histogram — re-homing a job
+    /// is not a serviced request. Any rebuild moves the backend performs
+    /// are internal to the fresh shard and not metered.
+    pub(crate) fn adopt(&mut self, id: JobId, window: Window) -> Result<(), realloc_core::Error> {
+        self.backend.insert(id, window)?;
+        self.active.insert(id, window);
+        Ok(())
+    }
+
+    /// Takes the pending (unflushed) queue, FIFO order preserved — the
+    /// reshard path re-routes these onto the successor shards so a resize
+    /// never drops a queued request.
+    pub(crate) fn take_queue(&mut self) -> VecDeque<Request> {
+        std::mem::take(&mut self.queue)
+    }
+
+    /// Telemetry counters `(requests, failed, reallocations, migrations)`
+    /// — folded into the engine's carryover totals when a reshard retires
+    /// this shard.
+    pub(crate) fn stat_parts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.requests,
+            self.failed,
+            self.reallocations,
+            self.migrations,
+        )
+    }
+
     /// Services every queued request in FIFO order.
     ///
     /// Failures are recorded and skipped — a multi-tenant service must

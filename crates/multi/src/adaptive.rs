@@ -22,6 +22,8 @@
 //! Theorem 1 (needs slack) and Lemmas 11/12 (no algorithm does well
 //! without slack): degrade gracefully, recover automatically.
 
+use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, SingleMachineReallocator, Slot, SlotMove, Window};
 use std::collections::HashMap;
 
@@ -29,7 +31,7 @@ use std::collections::HashMap;
 pub const RECOVER_FRACTION: f64 = 0.75;
 
 /// Which backend is serving.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// The fast (reservation) backend.
     Fast,
@@ -111,12 +113,16 @@ where
         Some(())
     }
 
-    /// Diff of the current assignments against `fresh`'s, as slot moves.
+    /// Diff of the current assignments against `fresh`'s, as slot moves
+    /// in job-id order. The sort makes the rebuild diff a pure function
+    /// of the two *states* — `assignments()` iterates hash maps whose
+    /// order varies per instance, and a snapshot-restored scheduler must
+    /// report byte-identical rebuild moves to the original.
     fn diff_moves<T: SingleMachineReallocator>(
         old: &HashMap<JobId, Slot>,
         fresh: &T,
     ) -> Vec<SlotMove> {
-        fresh
+        let mut moves: Vec<SlotMove> = fresh
             .assignments()
             .into_iter()
             .filter_map(|(id, slot)| match old.get(&id) {
@@ -127,7 +133,9 @@ where
                     to: Some(slot),
                 }),
             })
-            .collect()
+            .collect();
+        moves.sort_by_key(|m| m.job);
+        moves
     }
 
     fn current_assignments(&self) -> HashMap<JobId, Slot> {
@@ -137,6 +145,10 @@ where
             _ => unreachable!("one backend is always live"),
         }
     }
+
+    /// Section kind of an adaptive snapshot (see
+    /// [`AdaptiveScheduler::snapshot_text`]).
+    pub const SNAPSHOT_KIND: &'static str = "adaptive";
 
     fn try_recover(&mut self, moves: &mut Vec<SlotMove>) {
         if self.primary.is_some() || self.windows.len() >= self.recover_below {
@@ -153,6 +165,175 @@ where
             // Back off: require a further drop before the next probe.
             self.recover_below = self.windows.len();
         }
+    }
+}
+
+/// Snapshot / restore. The [`Restorable`] trait itself cannot be
+/// implemented here — restoring needs the two backend *factories*, which
+/// no text format can carry — so the adaptive scheduler exposes the same
+/// contract through factory-taking inherent methods:
+/// `restore_with(snapshot_text(s), fp, fd)` is behaviorally
+/// indistinguishable from `s` (identical moves, costs, errors on any
+/// subsequent stream), and malformed input yields graceful
+/// [`ParseError`]s, never panics.
+impl<P, D, FP, FD> AdaptiveScheduler<P, D, FP, FD>
+where
+    P: SingleMachineReallocator + Restorable,
+    D: SingleMachineReallocator + Restorable,
+    FP: Fn() -> P,
+    FD: Fn() -> D,
+{
+    /// Writes the full mutable state: mode header (serving mode, probe
+    /// threshold, switch counters), every active job's original window,
+    /// and the live backend's own snapshot as a child section.
+    pub fn write_state(&self, w: &mut SnapshotWriter) {
+        let mode = match self.mode() {
+            Mode::Fast => "f",
+            Mode::Degraded => "d",
+        };
+        w.line(format_args!(
+            "m {mode} {} {} {}",
+            self.recover_below, self.degradations, self.recoveries
+        ));
+        let mut jobs: Vec<(JobId, Window)> = self.windows.iter().map(|(&id, &w)| (id, w)).collect();
+        jobs.sort_by_key(|&(id, _)| id);
+        for (id, win) in jobs {
+            w.line(format_args!("j {} {} {}", id.0, win.start(), win.end()));
+        }
+        match (&self.primary, &self.degraded) {
+            (Some(p), _) => w.child(p),
+            (_, Some(d)) => w.child(d),
+            _ => unreachable!("one backend is always live"),
+        }
+    }
+
+    /// Serializes to a self-contained snapshot document (an `adaptive`
+    /// section in `realloc_core::snapshot` v1 framing).
+    pub fn snapshot_text(&self) -> String {
+        let mut w = SnapshotWriter::new();
+        w.begin(Self::SNAPSHOT_KIND);
+        self.write_state(&mut w);
+        w.end();
+        w.finish()
+    }
+
+    /// Rebuilds a scheduler from an `adaptive` section, cross-validating
+    /// the recorded window set against the restored backend's schedule.
+    pub fn read_state_with(
+        node: &SnapshotNode,
+        make_primary: FP,
+        make_degraded: FD,
+    ) -> Result<Self, ParseError> {
+        node.expect_kind(Self::SNAPSHOT_KIND)?;
+        let mut header: Option<(Mode, usize, u64, u64)> = None;
+        let mut windows: HashMap<JobId, Window> = HashMap::new();
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            match f.token("op")? {
+                "m" => {
+                    if header.is_some() {
+                        return Err(f.err("duplicate 'm' mode line"));
+                    }
+                    let mode = match f.token("mode")? {
+                        "f" => Mode::Fast,
+                        "d" => Mode::Degraded,
+                        other => return Err(f.err(format!("bad mode '{other}'"))),
+                    };
+                    let recover_below = f.usize("recover threshold")?;
+                    let degradations = f.u64("degradation count")?;
+                    let recoveries = f.u64("recovery count")?;
+                    f.finish()?;
+                    header = Some((mode, recover_below, degradations, recoveries));
+                }
+                "j" => {
+                    let id = JobId(f.u64("job id")?);
+                    let start = f.u64("window start")?;
+                    let end = f.u64("window end")?;
+                    f.finish()?;
+                    if end <= start {
+                        return Err(f.err(format!("window end {end} must exceed start {start}")));
+                    }
+                    if windows.insert(id, Window::new(start, end)).is_some() {
+                        return Err(f.err(format!("duplicate job {id}")));
+                    }
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unknown adaptive snapshot op '{other}'"),
+                    })
+                }
+            }
+        }
+        let (mode, recover_below, degradations, recoveries) = header.ok_or(ParseError {
+            line: 0,
+            message: "adaptive snapshot has no 'm' mode line".to_string(),
+        })?;
+        let (primary, degraded) = match mode {
+            Mode::Fast => {
+                let p = P::read_state(node.only_child(P::SNAPSHOT_KIND)?)?;
+                (Some(p), None)
+            }
+            Mode::Degraded => {
+                let d = D::read_state(node.only_child(D::SNAPSHOT_KIND)?)?;
+                (None, Some(d))
+            }
+        };
+        let restored = AdaptiveScheduler {
+            primary,
+            degraded,
+            make_primary,
+            make_degraded,
+            windows,
+            recover_below,
+            degradations,
+            recoveries,
+        };
+        // The backend must schedule exactly the recorded job set, inside
+        // the recorded windows.
+        let assignments = restored.assignments();
+        if assignments.len() != restored.windows.len() {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "backend schedules {} jobs but {} windows are recorded",
+                    assignments.len(),
+                    restored.windows.len()
+                ),
+            });
+        }
+        for (id, slot) in assignments {
+            match restored.windows.get(&id) {
+                None => {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!("backend schedules unrecorded job {id}"),
+                    })
+                }
+                Some(win) if !win.contains_slot(slot) => {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!("job {id} restored to slot {slot} outside {win}"),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Parses a document produced by [`AdaptiveScheduler::snapshot_text`].
+    pub fn restore_with(
+        text: &str,
+        make_primary: FP,
+        make_degraded: FD,
+    ) -> Result<Self, ParseError> {
+        let root = SnapshotNode::parse(text)?;
+        Self::read_state_with(
+            root.only_child(Self::SNAPSHOT_KIND)?,
+            make_primary,
+            make_degraded,
+        )
     }
 }
 

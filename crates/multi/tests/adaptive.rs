@@ -1,0 +1,208 @@
+//! Direct coverage for `AdaptiveScheduler`: feasibility invariants under
+//! churn through full degrade/recover cycles, and snapshot round-trip
+//! equivalence (identical subsequent moves) in both serving modes.
+
+use proptest::prelude::*;
+use realloc_baselines::NaivePeckingScheduler;
+use realloc_core::{JobId, Request, SingleMachineReallocator, Window};
+use realloc_multi::{AdaptiveScheduler, Mode};
+use realloc_reservation::ReservationScheduler;
+use realloc_workloads::{ChurnConfig, ChurnGenerator};
+use std::collections::{BTreeMap, HashSet};
+
+type Adaptive = AdaptiveScheduler<
+    ReservationScheduler,
+    NaivePeckingScheduler,
+    fn() -> ReservationScheduler,
+    fn() -> NaivePeckingScheduler,
+>;
+
+fn adaptive() -> Adaptive {
+    AdaptiveScheduler::new(ReservationScheduler::new, NaivePeckingScheduler::new)
+}
+
+/// Feasibility invariants: every assignment inside its job's original
+/// window, no slot collisions, assignment count == active count.
+fn assert_feasible(s: &Adaptive, active: &BTreeMap<JobId, Window>) {
+    let mut seen = HashSet::new();
+    let assignments = s.assignments();
+    assert_eq!(assignments.len(), active.len());
+    assert_eq!(s.active_count(), active.len());
+    for (id, slot) in assignments {
+        let w = active[&id];
+        assert!(w.contains_slot(slot), "{id} at {slot} outside {w}");
+        assert!(seen.insert(slot), "slot collision at {slot}");
+    }
+}
+
+/// A stream that drives the scheduler through a full lifecycle: churn in
+/// fast mode, an E4a-style saturated nest that forces degradation, churn
+/// while degraded, then deletions until recovery.
+fn lifecycle_stream(seed: u64) -> Vec<Request> {
+    let mut out = Vec::new();
+    let mut gen = ChurnGenerator::new(
+        ChurnConfig {
+            machines: 1,
+            gamma: 8,
+            horizon: 1 << 10,
+            spans: vec![1, 4, 16, 64],
+            target_active: 24,
+            insert_bias: 0.7,
+            unaligned: false,
+        },
+        seed,
+    );
+    out.extend(gen.generate(120).requests().iter().copied());
+    // Saturate: span-s jobs at density s/2 per level overflow the
+    // reservation scheduler's slack requirement.
+    let mut id = 1_000_000u64;
+    let mut span = 2u64;
+    while span <= 256 {
+        for k in 0..span / 2 {
+            out.push(Request::Insert {
+                id: JobId(id),
+                window: Window::with_span((k % 2) * span, span),
+            });
+            id += 1;
+        }
+        span *= 2;
+    }
+    // Churn on top of the degraded instance.
+    out.extend(gen.generate(80).requests().iter().copied());
+    // Drain the nest (and most churn jobs): slack returns.
+    for drain in 1_000_000..id {
+        out.push(Request::Delete { id: JobId(drain) });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Invariants hold after every single request across degrade and
+    /// recover, and the lifecycle really exercises both transitions.
+    #[test]
+    fn invariants_hold_through_degrade_and_recover(seed in 0u64..200) {
+        let mut s = adaptive();
+        let mut active: BTreeMap<JobId, Window> = BTreeMap::new();
+        let mut modes_seen = HashSet::new();
+        for r in lifecycle_stream(seed) {
+            match r {
+                Request::Insert { id, window } => {
+                    if s.insert(id, window).is_ok() {
+                        active.insert(id, window);
+                    }
+                }
+                Request::Delete { id } => {
+                    if s.delete(id).is_ok() {
+                        active.remove(&id);
+                    }
+                }
+            }
+            modes_seen.insert(s.mode());
+            assert_feasible(&s, &active);
+        }
+        prop_assert!(modes_seen.contains(&Mode::Fast));
+        prop_assert!(modes_seen.contains(&Mode::Degraded), "nest never degraded");
+        prop_assert!(s.degradations() >= 1);
+        prop_assert!(s.recoveries() >= 1, "drain never recovered");
+        prop_assert_eq!(s.mode(), Mode::Fast, "ended degraded after the drain");
+    }
+
+    /// Snapshot round-trip at an arbitrary cut point: the restored
+    /// scheduler replays the remaining stream with **identical moves**
+    /// (not just identical final assignments), in whichever mode the cut
+    /// lands.
+    #[test]
+    fn snapshot_round_trips_mid_churn(seed in 0u64..200, cut_permille in 0usize..1000) {
+        let stream = lifecycle_stream(seed);
+        let cut = stream.len() * cut_permille / 1000;
+        let (prefix, suffix) = stream.split_at(cut);
+
+        let mut original = adaptive();
+        for &r in prefix {
+            let _ = apply(&mut original, r);
+        }
+        let text = original.snapshot_text();
+        let mut restored =
+            Adaptive::restore_with(&text, ReservationScheduler::new, NaivePeckingScheduler::new)
+                .expect("own snapshot must restore");
+
+        prop_assert_eq!(restored.mode(), original.mode());
+        prop_assert_eq!(restored.degradations(), original.degradations());
+        prop_assert_eq!(restored.recoveries(), original.recoveries());
+        prop_assert_eq!(sorted(restored.assignments()), sorted(original.assignments()));
+
+        for &r in suffix {
+            let a = apply(&mut original, r);
+            let b = apply(&mut restored, r);
+            prop_assert_eq!(a, b, "restored scheduler diverged");
+        }
+        prop_assert_eq!(restored.mode(), original.mode());
+        prop_assert_eq!(sorted(restored.assignments()), sorted(original.assignments()));
+        // Round-trip of the final state too.
+        prop_assert_eq!(restored.snapshot_text(), original.snapshot_text());
+    }
+}
+
+/// Applies one request, canonicalizing the returned moves by job id so
+/// two instances are compared on *what moved where*, not on backend hash
+/// map iteration order.
+fn apply(s: &mut Adaptive, r: Request) -> Result<Vec<realloc_core::SlotMove>, String> {
+    let moves = match r {
+        Request::Insert { id, window } => s.insert(id, window).map_err(|e| e.to_string()),
+        Request::Delete { id } => s.delete(id).map_err(|e| e.to_string()),
+    };
+    moves.map(|mut m| {
+        m.sort_by_key(|mv| (mv.job, mv.from, mv.to));
+        m
+    })
+}
+
+fn sorted(mut v: Vec<(JobId, u64)>) -> Vec<(JobId, u64)> {
+    v.sort();
+    v
+}
+
+#[test]
+fn malformed_adaptive_snapshots_error_gracefully() {
+    let mut s = adaptive();
+    for i in 0..12u64 {
+        s.insert(JobId(i), Window::with_span((i % 4) * 64, 16))
+            .unwrap();
+    }
+    let text = s.snapshot_text();
+    assert!(
+        Adaptive::restore_with(&text, ReservationScheduler::new, NaivePeckingScheduler::new)
+            .is_ok()
+    );
+    for (what, from, to) in [
+        ("bad mode", "m f ", "m x "),
+        ("duplicate mode line", "m f 0 0 0", "m f 0 0 0\nm f 0 0 0"),
+        ("duplicate job", "j 0 0 16", "j 0 0 16\nj 0 0 16"),
+        ("inverted window", "j 0 0 16", "j 0 16 16"),
+        ("unknown op", "j 0 0 16", "q 0 0 16"),
+        ("unrecorded scheduled job", "j 0 0 16", "j 99 0 16"),
+        (
+            "wrong backend section",
+            "!begin reservation",
+            "!begin naive",
+        ),
+    ] {
+        let bad = text.replacen(from, to, 1);
+        assert_ne!(bad, text, "{what}: pattern missed");
+        assert!(
+            Adaptive::restore_with(&bad, ReservationScheduler::new, NaivePeckingScheduler::new)
+                .is_err(),
+            "{what}: accepted"
+        );
+    }
+    // Truncation anywhere never panics.
+    for cutoff in (0..text.len()).step_by(53) {
+        let _ = Adaptive::restore_with(
+            &text[..cutoff],
+            ReservationScheduler::new,
+            NaivePeckingScheduler::new,
+        );
+    }
+}

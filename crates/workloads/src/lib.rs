@@ -26,3 +26,4 @@ pub mod scenarios;
 pub use adversary::{lemma12_toggle, obs13_slide, Lemma11Adversary, SizedRequest};
 pub use churn::{ChurnConfig, ChurnGenerator};
 pub use feed::TenantFeed;
+pub use scenarios::{hotspot, HOTSPOT_WHALE};

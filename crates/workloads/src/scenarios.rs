@@ -6,6 +6,7 @@
 //! shared compute cluster.
 
 use crate::churn::{ChurnConfig, ChurnGenerator};
+use crate::feed::TenantFeed;
 
 /// The doctor's office of paper §1: a working horizon of `days` days of 32
 /// quarter-hour slots each, patients asking for appointment windows from a
@@ -65,9 +66,63 @@ pub fn train_station(platforms: usize, seed: u64) -> ChurnGenerator {
     )
 }
 
+/// The whale tenant id every [`hotspot`] feed uses.
+pub const HOTSPOT_WHALE: u16 = 1;
+
+/// A skewed-tenant hotspot: one **whale** tenant (id
+/// [`HOTSPOT_WHALE`]) whose active set dwarfs everyone else's, plus
+/// `dwarfs` small tenants (ids `2..2+dwarfs`). The whale's stream is
+/// density-certified for a *single* machine, so a serving engine can
+/// always isolate it onto one dedicated shard — exactly the shape that
+/// makes tenant-aware rebalancing observable: under plain hash routing
+/// the whale's jobs spread across every shard and consume every shard's
+/// density budget; after a rebalance pins it, the hash shards belong to
+/// the small tenants again.
+///
+/// Round-robin draws (see [`TenantFeed::next_batch`]) keep all streams
+/// interleaved; the skew comes from the whale's much larger steady-state
+/// target and insert bias, not from request-rate asymmetry.
+pub fn hotspot(dwarfs: usize, seed: u64) -> TenantFeed {
+    assert!(dwarfs >= 1, "a hotspot needs someone to crowd");
+    let mut streams = vec![(
+        HOTSPOT_WHALE,
+        ChurnGenerator::new(
+            ChurnConfig {
+                machines: 1,
+                gamma: 8,
+                horizon: 1 << 12,
+                spans: vec![1, 4, 16, 64],
+                target_active: 240,
+                insert_bias: 0.85,
+                unaligned: false,
+            },
+            seed,
+        ),
+    )];
+    for d in 0..dwarfs {
+        streams.push((
+            HOTSPOT_WHALE + 1 + d as u16,
+            ChurnGenerator::new(
+                ChurnConfig {
+                    machines: 1,
+                    gamma: 8,
+                    horizon: 1 << 12,
+                    spans: vec![1, 4, 16],
+                    target_active: 12,
+                    insert_bias: 0.6,
+                    unaligned: false,
+                },
+                seed.wrapping_mul(31).wrapping_add(d as u64 + 1),
+            ),
+        ));
+    }
+    TenantFeed::new(streams)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use realloc_core::Request;
 
     #[test]
     fn doctors_office_generates() {
@@ -85,6 +140,34 @@ mod tests {
         seq.validate().unwrap();
         assert!(seq.max_span() <= 8);
         assert!(seq.len() > 500);
+    }
+
+    #[test]
+    fn hotspot_skews_toward_the_whale() {
+        let mut feed = hotspot(4, 9);
+        assert_eq!(feed.tenants(), 5);
+        let mut active: std::collections::HashMap<u16, i64> = Default::default();
+        for _ in 0..40 {
+            let Some(batch) = feed.next_batch(8) else {
+                break;
+            };
+            for (tenant, r) in batch {
+                *active.entry(tenant).or_insert(0) += match r {
+                    Request::Insert { .. } => 1,
+                    Request::Delete { .. } => -1,
+                };
+            }
+        }
+        let whale = active[&HOTSPOT_WHALE];
+        let total: i64 = active.values().sum();
+        assert!(
+            whale * 2 > total,
+            "whale holds {whale} of {total} active jobs — not dominant"
+        );
+        assert!(
+            active.iter().all(|(&t, &n)| t == HOTSPOT_WHALE || n <= 16),
+            "dwarfs stayed small: {active:?}"
+        );
     }
 
     #[test]

@@ -98,12 +98,14 @@ pub mod sim {
     pub use realloc_sim::*;
 }
 
+pub use realloc_core::router::Router;
 pub use realloc_core::{
     log_star, CostMeter, Error, Job, JobId, Move, Placement, Reallocator, Request, RequestOutcome,
     RequestSeq, Restorable, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
 };
 pub use realloc_engine::{
-    BackendKind, Engine, EngineConfig, Journal, Metrics, RecoverError, ReplayError, TenantId,
+    BackendKind, Engine, EngineConfig, EpochRecord, Journal, Metrics, RecoverError, ReplayError,
+    ResizeError, ResizeReport, TenantId,
 };
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
