@@ -1,0 +1,109 @@
+//! `engine_replication` — what replication costs and buys:
+//!
+//! * **overhead** — the same journaled churn ingest, bare vs. wrapped in
+//!   a [`Primary`] streaming every flush to one synchronously-applying
+//!   in-process replica (the replica re-services and verifies every
+//!   event, so this is the full price of one strongly-consistent
+//!   follower, transport excluded);
+//! * **catch-up** — replica bootstrap latency as a function of the tail
+//!   length behind the latest checkpoint (the O(tail) claim, measured).
+//!
+//! Results land in `BENCH_engine_replication.json` (see the criterion
+//! shim's `BENCH_OUT_DIR`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use realloc_cluster::{Frame, Primary, Replica};
+use realloc_engine::{BackendKind, Engine};
+use realloc_sim::harness::{churn_seq, engine_config};
+
+const REQUESTS: usize = 10_000;
+const BATCH: usize = 256;
+const SHARDS: usize = 4;
+
+fn journaled() -> Engine {
+    let mut cfg = engine_config(SHARDS, 1, BackendKind::TheoremOne { gamma: 8 }, false);
+    cfg.journal = true;
+    cfg.retained_segments = usize::MAX;
+    Engine::new(cfg)
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let seq = churn_seq(1, 8, 256, 1 << 12, false, REQUESTS, 31);
+    // One group for both phases: the shim writes one
+    // `BENCH_engine_replication.json` per `finish()`.
+    let mut group = c.benchmark_group("engine_replication");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    group.bench_with_input(BenchmarkId::new("bare_ingest", SHARDS), &seq, |b, seq| {
+        b.iter(|| {
+            let mut e = journaled();
+            e.ingest(seq, BATCH)
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("replicated_ingest", SHARDS),
+        &seq,
+        |b, seq| {
+            b.iter(|| {
+                let mut primary = Primary::new(journaled(), 1).unwrap();
+                let mut replica = Replica::new();
+                let (_, boot) = primary.bootstrap();
+                for f in &boot {
+                    replica.apply(f).unwrap();
+                }
+                for chunk in seq.requests().chunks(BATCH) {
+                    for &r in chunk {
+                        primary.submit(r);
+                    }
+                    let (_, frames) = primary.flush();
+                    for f in &frames {
+                        replica.apply(f).unwrap();
+                    }
+                }
+                replica.events_applied()
+            })
+        },
+    );
+
+    // Catch-up: one primary per tail length — checkpoint, then leave
+    // `tail` un-checkpointed events behind it. A joiner bootstraps from
+    // the checkpoint snapshot + tail frames; time that bootstrap.
+    for &tail in &[512usize, 2048, 8192] {
+        let seq = churn_seq(1, 8, 256, 1 << 12, false, 4096 + tail, 67);
+        let checkpoint_at = seq.len() - tail;
+        let mut primary = Primary::new(journaled(), 1).unwrap();
+        let mut checkpointed = false;
+        for chunk in seq.requests().chunks(BATCH) {
+            for &r in chunk {
+                primary.submit(r);
+            }
+            primary.flush();
+            if !checkpointed
+                && primary.engine().journal().unwrap().total_events() as usize >= checkpoint_at
+            {
+                primary.checkpoint();
+                checkpointed = true;
+            }
+        }
+        let (_, boot): (Vec<Frame>, Vec<Frame>) = primary.bootstrap();
+        let tail_events = primary.engine().journal().unwrap().tail_events().len();
+        assert!(checkpointed && tail_events > 0, "tail must be non-empty");
+        group.throughput(Throughput::Elements(tail_events as u64));
+        group.bench_function(BenchmarkId::new("catch_up_tail", tail_events), |b| {
+            b.iter(|| {
+                let mut joiner = Replica::new();
+                for f in &boot {
+                    joiner.apply(f).unwrap();
+                }
+                joiner.events_applied()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_replication
+}
+criterion_main!(benches);

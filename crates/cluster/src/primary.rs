@@ -1,0 +1,381 @@
+//! The replication primary: a serving [`Engine`] that tails its own
+//! journal into a sequence-numbered, term-fenced frame stream.
+//!
+//! The primary does not own a transport — it *produces* frames
+//! ([`Primary::flush`], [`Primary::poll`], [`Primary::checkpoint`],
+//! [`Primary::bootstrap`]) and the embedder pushes them into whatever
+//! [`crate::transport::FrameSink`]s its replicas sit behind. That keeps
+//! the replication logic a pure function of engine + journal state, so
+//! the differential tests can drive it deterministically.
+
+use crate::frame::{Frame, Payload};
+use crate::ClusterError;
+use realloc_core::Request;
+use realloc_engine::{
+    BatchReport, Engine, JournalCursor, JournalEvent, JournalRecord, ResizeError, ResizeReport,
+};
+use std::collections::VecDeque;
+
+/// Frames of replicated history the primary retains for lagging-replica
+/// catch-up before falling back to a snapshot bootstrap.
+pub const DEFAULT_HISTORY_FRAMES: usize = 4096;
+
+/// The streaming side of a replicated engine; see the module docs.
+#[derive(Debug)]
+pub struct Primary {
+    engine: Engine,
+    term: u64,
+    /// Sequence number the next stream frame will carry.
+    next_seq: u64,
+    /// Journal position already turned into frames.
+    cursor: JournalCursor,
+    /// Recent stream frames, oldest first (bounded by `history_cap`).
+    history: VecDeque<Frame>,
+    history_cap: usize,
+    /// `(seq, events_before)` of the latest `check` marker frame, if any
+    /// — the anchor for checkpoint-based (O(tail)) replica bootstrap.
+    last_check: Option<(u64, u64)>,
+}
+
+impl Primary {
+    /// Wraps a journaled engine as the replication primary at `term`
+    /// (terms start at 1; a promoted replica picks its observed term
+    /// plus one). The stream starts at the engine's *current* state —
+    /// history already in the journal is covered by the bootstrap
+    /// snapshot, not re-shipped.
+    pub fn new(engine: Engine, term: u64) -> Result<Primary, ClusterError> {
+        if term == 0 {
+            return Err(ClusterError::BadTerm);
+        }
+        let Some(journal) = engine.journal() else {
+            return Err(ClusterError::JournalDisabled);
+        };
+        let cursor = JournalCursor::at_end_of(journal);
+        Ok(Primary {
+            engine,
+            term,
+            next_seq: 1,
+            cursor,
+            history: VecDeque::new(),
+            history_cap: DEFAULT_HISTORY_FRAMES,
+            last_check: None,
+        })
+    }
+
+    /// Promotion constructor: resumes the stream of a replica's engine
+    /// at `next_seq` under a bumped term. The cursor starts at the end
+    /// of the engine's journal — everything in it was applied from the
+    /// old stream and must not be re-shipped.
+    pub(crate) fn resume(engine: Engine, term: u64, next_seq: u64) -> Primary {
+        let journal = engine.journal().expect("replica engines are journaled");
+        let cursor = JournalCursor::at_end_of(journal);
+        Primary {
+            engine,
+            term,
+            next_seq,
+            cursor,
+            history: VecDeque::new(),
+            history_cap: DEFAULT_HISTORY_FRAMES,
+            last_check: None,
+        }
+    }
+
+    /// Sets the catch-up history cap (frames retained for
+    /// [`Primary::frames_since`]).
+    pub fn with_history_cap(mut self, cap: usize) -> Primary {
+        self.history_cap = cap;
+        self.trim_history();
+        self
+    }
+
+    /// The wrapped engine (reads: metrics, placements, validation).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access for operations this wrapper does not
+    /// mirror. Anything that lands in the journal (flushes, resizes) is
+    /// picked up by the next [`Primary::poll`]; do **not** checkpoint
+    /// the engine directly — journal truncation can outrun the stream
+    /// cursor and force a full re-bootstrap of every replica (use
+    /// [`Primary::checkpoint`], which polls first).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Consumes the primary, handing back the engine (demotion).
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+
+    /// This primary's fencing term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Sequence number the next stream frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Enqueues a request (raw id space, as [`Engine::submit`]).
+    pub fn submit(&mut self, request: Request) {
+        self.engine.submit(request);
+    }
+
+    /// Flushes the engine and returns the batch report together with the
+    /// replication frames the flush produced (broadcast them to every
+    /// attached replica, in order).
+    ///
+    /// An idle tick (nothing queued) is a **no-op** returning an empty
+    /// report: an empty engine flush would bump the flush counter —
+    /// state that is part of the digested snapshot — while producing no
+    /// frame to ship, silently desyncing every replica's digest.
+    pub fn flush(&mut self) -> (BatchReport, Vec<Frame>) {
+        if self.engine.queued() == 0 {
+            return (BatchReport::default(), Vec::new());
+        }
+        let report = self.engine.flush();
+        let frames = self.poll();
+        (report, frames)
+    }
+
+    /// Resizes the engine online and returns the frames carrying the
+    /// epoch change (plus any events still unshipped before it).
+    pub fn resize(&mut self, shards: usize) -> Result<(ResizeReport, Vec<Frame>), ResizeError> {
+        let report = self.engine.resize(shards)?;
+        Ok((report, self.poll()))
+    }
+
+    /// Rebalances (tenant isolation) and returns the frames, when the
+    /// engine decided to act.
+    pub fn rebalance(&mut self) -> Result<Option<(ResizeReport, Vec<Frame>)>, ResizeError> {
+        Ok(self.engine.rebalance()?.map(|report| (report, self.poll())))
+    }
+
+    /// Checkpoints the engine (snapshot into the journal, truncate old
+    /// segments) and returns the frames to broadcast: any still-unshipped
+    /// events, then a `check` marker carrying the state digest. Replicas
+    /// verify the digest and cut their own local checkpoints at the
+    /// marker.
+    pub fn checkpoint(&mut self) -> Vec<Frame> {
+        // Ship everything recorded so far *before* truncation can drop
+        // it, including the flush `Engine::checkpoint` performs on a
+        // non-empty queue.
+        let mut frames = self.poll();
+        if self.engine.queued() > 0 {
+            self.engine.flush();
+            frames.extend(self.poll());
+        }
+        self.engine.checkpoint();
+        frames.extend(self.poll());
+        let events_applied = self.journal_total();
+        // The checkpoint just serialized the full engine snapshot into
+        // the journal, and nothing has mutated digested state since —
+        // hash that text instead of serializing a second identical copy.
+        let digest = realloc_core::snapshot::digest64(
+            &self
+                .engine
+                .journal()
+                .expect("primary engines are journaled")
+                .latest_checkpoint()
+                .expect("Engine::checkpoint just recorded one")
+                .snapshot,
+        );
+        debug_assert_eq!(digest, self.engine.state_digest());
+        let marker = self.stamp(Payload::Check {
+            events_applied,
+            digest,
+        });
+        self.last_check = Some((marker.seq, events_applied));
+        frames.push(marker);
+        frames
+    }
+
+    /// Turns every journal record past the stream cursor into frames
+    /// (one `events` frame per recorded batch, one `epoch` frame per
+    /// resize). Normally empty-handed only right after a flush has been
+    /// polled; called internally by [`Primary::flush`] and friends.
+    ///
+    /// If the cursor's history was truncated out from under the stream
+    /// (an [`Engine::checkpoint`] issued directly on
+    /// [`Primary::engine_mut`]), the unshipped records are gone; the
+    /// only sound continuation is a stamped snapshot frame that
+    /// re-bootstraps every replica, and that is what this returns.
+    pub fn poll(&mut self) -> Vec<Frame> {
+        let journal = self
+            .engine
+            .journal()
+            .expect("primary engines are journaled");
+        let Some(records) = journal.records_since(self.cursor) else {
+            return vec![self.rebootstrap_frame()];
+        };
+        // Group events batch-by-batch; epochs become their own frames at
+        // their exact positions.
+        let mut cursor = self.cursor;
+        let mut payloads: Vec<Payload> = Vec::new();
+        let mut open_batch: Option<Vec<JournalEvent>> = None;
+        for record in records {
+            cursor.advance(&record);
+            match record {
+                JournalRecord::Event(e) => match &mut open_batch {
+                    Some(events) if events[0].batch == e.batch => events.push(*e),
+                    Some(events) => {
+                        payloads.push(Payload::Events(std::mem::replace(events, vec![*e])));
+                    }
+                    None => open_batch = Some(vec![*e]),
+                },
+                JournalRecord::Epoch(rec) => {
+                    if let Some(events) = open_batch.take() {
+                        payloads.push(Payload::Events(events));
+                    }
+                    payloads.push(Payload::Epoch(rec.clone()));
+                }
+            }
+        }
+        if let Some(events) = open_batch.take() {
+            payloads.push(Payload::Events(events));
+        }
+        self.cursor = cursor;
+        payloads.into_iter().map(|p| self.stamp(p)).collect()
+    }
+
+    /// A snapshot frame bootstrapping a **new** replica, preceded by any
+    /// frames still owed to the existing stream (broadcast those to the
+    /// already-attached replicas first — the snapshot covers them, so
+    /// the joiner must not see them again).
+    ///
+    /// When the journal's latest checkpoint is still fully covered by
+    /// the retained frame history, the bootstrap ships that *checkpoint*
+    /// snapshot plus the history tail instead of a fresh full snapshot —
+    /// the new replica catches up from the checkpoint in O(tail),
+    /// exercising exactly the engine's recovery path.
+    pub fn bootstrap(&mut self) -> (Vec<Frame>, Vec<Frame>) {
+        let mut owed = self.poll();
+        // A snapshot cut while requests sit queued would hand the
+        // joiner those pending queues — and the events frame of the
+        // flush that services them would then be rejected ("locally
+        // queued requests would be swept into the recorded batch").
+        // Flush first and ship the result to the existing stream.
+        if self.engine.queued() > 0 {
+            self.engine.flush();
+            owed.extend(self.poll());
+        }
+        // O(tail) path: latest checkpoint snapshot + retained frames
+        // after its marker. Guarded by the recorded event count so a
+        // checkpoint cut behind this wrapper's back (directly on
+        // `engine_mut`) can never mis-anchor a joiner.
+        if let Some((check_seq, check_events)) = self.last_check {
+            if let Some(tail) = self.frames_since(check_seq) {
+                let journal = self
+                    .engine
+                    .journal()
+                    .expect("primary engines are journaled");
+                if let Some(cp) = journal.latest_checkpoint() {
+                    if cp.events_before == check_events {
+                        let mut frames = vec![Frame {
+                            term: self.term,
+                            seq: check_seq,
+                            payload: Payload::Snapshot {
+                                events_applied: cp.events_before,
+                                text: cp.snapshot.clone(),
+                            },
+                        }];
+                        frames.extend(tail);
+                        return (owed, frames);
+                    }
+                }
+            }
+        }
+        let snapshot = self.snapshot_frame();
+        (owed, vec![snapshot])
+    }
+
+    /// Retained stream frames with sequence numbers past `last_seq`, for
+    /// catching up a lagging but already-bootstrapped replica. `None`
+    /// when this primary cannot serve the position — the history no
+    /// longer reaches back that far, **or** `last_seq` is *ahead* of
+    /// this primary's stream (the replica followed a lineage this
+    /// primary never saw; only a re-bootstrap can reconcile it) — fall
+    /// back to [`Primary::bootstrap`].
+    pub fn frames_since(&self, last_seq: u64) -> Option<Vec<Frame>> {
+        if last_seq + 1 == self.next_seq {
+            return Some(Vec::new()); // already caught up
+        }
+        if last_seq + 1 > self.next_seq {
+            return None; // ahead of this lineage: re-bootstrap
+        }
+        let oldest = self.history.front()?.seq;
+        if last_seq + 1 < oldest {
+            return None; // evicted
+        }
+        Some(
+            self.history
+                .iter()
+                .filter(|f| f.seq > last_seq)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Stamps a stream payload with this term and the next sequence
+    /// number, retaining it in the catch-up history.
+    fn stamp(&mut self, payload: Payload) -> Frame {
+        let frame = Frame {
+            term: self.term,
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        self.history.push_back(frame.clone());
+        self.trim_history();
+        frame
+    }
+
+    fn trim_history(&mut self) {
+        while self.history.len() > self.history_cap {
+            self.history.pop_front();
+        }
+    }
+
+    /// Current-state snapshot frame anchored at the last shipped seq.
+    fn snapshot_frame(&self) -> Frame {
+        Frame {
+            term: self.term,
+            seq: self.next_seq - 1,
+            payload: Payload::Snapshot {
+                events_applied: self.journal_total(),
+                text: realloc_core::snapshot::Restorable::snapshot_text(&self.engine),
+            },
+        }
+    }
+
+    /// A *stamped* snapshot frame for the truncated-cursor fallback: it
+    /// takes a stream seq so every replica treats it as the stream —
+    /// re-bootstrapping in place — instead of a joiner-only side channel.
+    fn rebootstrap_frame(&mut self) -> Frame {
+        // Service anything still queued first: the unshipped records are
+        // already lost to truncation, so the flush's effects fold into
+        // the snapshot instead of wedging replicas on restored queues.
+        if self.engine.queued() > 0 {
+            self.engine.flush();
+        }
+        let journal = self
+            .engine
+            .journal()
+            .expect("primary engines are journaled");
+        self.cursor = JournalCursor::at_end_of(journal);
+        let payload = Payload::Snapshot {
+            events_applied: self.journal_total(),
+            text: realloc_core::snapshot::Restorable::snapshot_text(&self.engine),
+        };
+        self.stamp(payload)
+    }
+
+    fn journal_total(&self) -> u64 {
+        self.engine
+            .journal()
+            .expect("primary engines are journaled")
+            .total_events()
+    }
+}

@@ -1,0 +1,192 @@
+//! Std-only TCP transport: length-prefixed replication frames over
+//! [`std::net::TcpStream`], with a threaded accept loop on the replica
+//! side and a synchronous per-frame acknowledgement protocol.
+//!
+//! # Wire protocol
+//!
+//! Each direction carries length-prefixed byte frames
+//! ([`realloc_core::textio::write_frame`]: a `u32` big-endian byte
+//! count, then that many bytes).
+//!
+//! * primary → replica: one [`Frame`] text document per wire frame.
+//! * replica → primary: one ack line per received frame — `ok <seq>`
+//!   when the frame was applied, `err <description>` when it was
+//!   rejected (fencing, sequence gap, corruption, divergence).
+//!
+//! The ack is what makes [`PrimaryLink::send`]'s `Ok` mean
+//! *acknowledged*: the replica has durably applied the frame before the
+//! primary moves on, so "no acknowledged event is ever lost" holds
+//! across a primary crash by construction. (Throughput-minded embedders
+//! batch many events per frame — one round-trip per flush, not per
+//! request.)
+//!
+//! # Threading
+//!
+//! [`ReplicaServer::bind`] spawns one accept-loop thread; each accepted
+//! connection gets its own handler thread that reads frames, applies
+//! them to the shared [`Replica`] under its lock, and writes acks. The
+//! server and any number of local readers share the replica via
+//! [`ReplicaServer::replica`] — that is the read-scaling surface.
+//! Handler threads exit when their peer disconnects; the accept loop
+//! exits on [`ReplicaServer::shutdown`] (also triggered by `Drop`).
+
+use crate::frame::{Frame, MAX_FRAME_BYTES};
+use crate::replica::Replica;
+use crate::transport::{FrameSink, TransportError};
+use realloc_core::textio::{read_frame, write_frame};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Cap on one ack frame (a short status line).
+const MAX_ACK_BYTES: u32 = 4096;
+
+/// Replica-side server: owns the accept loop and the shared replica.
+#[derive(Debug)]
+pub struct ReplicaServer {
+    replica: Arc<Mutex<Replica>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ReplicaServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `replica` on a background accept loop.
+    pub fn bind(addr: impl ToSocketAddrs, replica: Replica) -> std::io::Result<ReplicaServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let replica = Arc::new(Mutex::new(replica));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_replica = Arc::clone(&replica);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("replica-accept-{addr}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_replica = Arc::clone(&accept_replica);
+                    // Handler threads are detached: they exit when the
+                    // peer disconnects (read_frame returns None/Err).
+                    let _ = std::thread::Builder::new()
+                        .name("replica-conn".to_string())
+                        .spawn(move || serve_connection(stream, conn_replica));
+                }
+            })?;
+        Ok(ReplicaServer {
+            replica,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (connect [`PrimaryLink`]s here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared replica — lock it for read queries (`window_of`,
+    /// `metrics`, `validate`, `state_digest`) or promotion. Locks are
+    /// held per frame by the connection handlers, so readers interleave
+    /// with replication at batch granularity.
+    pub fn replica(&self) -> Arc<Mutex<Replica>> {
+        Arc::clone(&self.replica)
+    }
+
+    /// Stops the accept loop and joins it. In-flight connection handlers
+    /// finish their current peer's stream and exit on disconnect.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection: read frame → parse → apply → ack, until disconnect.
+fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        let payload = match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // peer gone
+        };
+        let ack = match std::str::from_utf8(&payload)
+            .map_err(|e| format!("frame is not UTF-8: {e}"))
+            .and_then(|text| Frame::parse(text).map_err(|e| e.to_string()))
+            .and_then(|frame| {
+                let seq = frame.seq;
+                replica
+                    .lock()
+                    .expect("replica mutex poisoned")
+                    .apply(&frame)
+                    .map(|()| seq)
+                    .map_err(|e| e.to_string())
+            }) {
+            Ok(seq) => format!("ok {seq}"),
+            Err(e) => format!("err {e}"),
+        };
+        if write_frame(&mut writer, ack.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Primary-side link to one remote replica: sends a frame, waits for the
+/// ack. Dropping the link closes the connection (the replica's handler
+/// thread exits).
+#[derive(Debug)]
+pub struct PrimaryLink {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl PrimaryLink {
+    /// Connects to a [`ReplicaServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<PrimaryLink> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let write_half = stream.try_clone()?;
+        Ok(PrimaryLink {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+}
+
+impl FrameSink for PrimaryLink {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        write_frame(&mut self.writer, frame.to_text().as_bytes())?;
+        self.writer.flush()?;
+        let Some(ack) = read_frame(&mut self.reader, MAX_ACK_BYTES)? else {
+            return Err(TransportError::Closed);
+        };
+        let ack = String::from_utf8(ack)
+            .map_err(|e| TransportError::Rejected(format!("ack is not UTF-8: {e}")))?;
+        match ack.split_once(' ') {
+            Some(("ok", _)) => Ok(()),
+            Some(("err", detail)) => Err(TransportError::Rejected(detail.to_string())),
+            _ => Err(TransportError::Rejected(format!("malformed ack '{ack}'"))),
+        }
+    }
+}

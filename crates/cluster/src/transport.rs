@@ -1,0 +1,149 @@
+//! Pluggable frame transports.
+//!
+//! The primary produces [`Frame`]s; a [`FrameSink`] delivers them to one
+//! replica and reports whether the replica **acknowledged** applying
+//! them — acknowledgement is what the failover guarantee is stated in
+//! terms of ("no acknowledged event is ever lost"). Two implementations
+//! ship:
+//!
+//! * [`LocalLink`] — an in-process link applying frames synchronously
+//!   to a shared [`Replica`] (tests, benches, same-process read
+//!   replicas).
+//! * [`crate::tcp::PrimaryLink`] — length-prefixed frames over
+//!   [`std::net::TcpStream`], acknowledged per frame by the remote
+//!   [`crate::tcp::ReplicaServer`].
+//!
+//! A plain fire-and-forget [`channel`] pair is also provided for
+//! pipelined in-process streaming (the receiver applies frames when it
+//! drains).
+
+use crate::frame::Frame;
+use crate::replica::{ApplyError, Replica};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Why a frame could not be delivered-and-acknowledged.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The link's byte stream failed.
+    Io(std::io::Error),
+    /// The replica received the frame and refused it (fencing, gap,
+    /// divergence, corruption — the replica-side [`ApplyError`], as
+    /// text when it crossed a wire).
+    Rejected(String),
+    /// The link is closed (receiver dropped, connection gone).
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport I/O failed: {e}"),
+            TransportError::Rejected(m) => write!(f, "replica rejected the frame: {m}"),
+            TransportError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Delivers frames to one replica; `Ok(())` means the replica applied
+/// and acknowledged the frame.
+pub trait FrameSink {
+    /// Sends one frame and waits for the acknowledgement.
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError>;
+}
+
+/// In-process synchronous link: applies each frame to a shared replica
+/// under its lock. The `Ok` of [`FrameSink::send`] *is* the replica's
+/// acknowledgement (the apply already happened).
+#[derive(Clone, Debug)]
+pub struct LocalLink {
+    replica: Arc<Mutex<Replica>>,
+}
+
+impl LocalLink {
+    /// Links to a shared replica cell.
+    pub fn new(replica: Arc<Mutex<Replica>>) -> LocalLink {
+        LocalLink { replica }
+    }
+
+    /// The shared replica (read scaling: query it from any thread).
+    pub fn replica(&self) -> &Arc<Mutex<Replica>> {
+        &self.replica
+    }
+
+    /// Applies a frame, returning the replica's own typed error (the
+    /// trait surface flattens it to text; fencing tests want the type).
+    pub fn apply(&self, frame: &Frame) -> Result<(), ApplyError> {
+        self.replica
+            .lock()
+            .expect("replica mutex poisoned")
+            .apply(frame)
+    }
+}
+
+impl FrameSink for LocalLink {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.apply(frame)
+            .map_err(|e| TransportError::Rejected(e.to_string()))
+    }
+}
+
+/// Fire-and-forget in-process channel pair: the sink clones frames into
+/// an [`mpsc`] queue; the source hands them out for the consumer to
+/// apply. No acknowledgement — use [`LocalLink`] where the "no
+/// acknowledged event lost" contract matters.
+pub fn channel() -> (ChannelSink, ChannelSource) {
+    let (tx, rx) = mpsc::channel();
+    (ChannelSink { tx }, ChannelSource { rx })
+}
+
+/// Sending half of [`channel`].
+#[derive(Clone, Debug)]
+pub struct ChannelSink {
+    tx: mpsc::Sender<Frame>,
+}
+
+impl FrameSink for ChannelSink {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.tx
+            .send(frame.clone())
+            .map_err(|_| TransportError::Closed)
+    }
+}
+
+/// Receiving half of [`channel`].
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: mpsc::Receiver<Frame>,
+}
+
+impl ChannelSource {
+    /// Next queued frame, blocking; `None` when every sink is dropped.
+    pub fn recv(&self) -> Option<Frame> {
+        self.rx.recv().ok()
+    }
+
+    /// Next queued frame without blocking.
+    pub fn try_recv(&self) -> Option<Frame> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains every queued frame into `replica`, stopping at the first
+    /// rejection. Returns the number applied.
+    pub fn drain_into(&self, replica: &mut Replica) -> Result<usize, ApplyError> {
+        let mut applied = 0usize;
+        while let Some(frame) = self.try_recv() {
+            replica.apply(&frame)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}

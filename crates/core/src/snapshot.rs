@@ -45,6 +45,25 @@ use std::fmt;
 /// The mandatory first line of every snapshot document.
 pub const SNAPSHOT_HEADER: &str = "# realloc snapshot v1";
 
+/// Stable 64-bit FNV-1a digest of a text document.
+///
+/// This is the state-digest primitive of the replication layer: two
+/// schedulers whose canonical snapshot texts are byte-identical have
+/// equal digests, so a replica can verify it has not diverged from its
+/// primary by exchanging 8 bytes instead of shipping a full snapshot.
+/// Deterministic across processes, machines, and versions by
+/// construction (no keyed hashing, no pointer-width dependence); **not**
+/// collision-resistant against an adversary — this detects drift and
+/// corruption, it does not authenticate.
+pub fn digest64(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Builder for snapshot text: writes the version header up front and
 /// keeps `!begin`/`!end` nesting balanced.
 #[derive(Debug)]
@@ -163,7 +182,7 @@ impl SnapshotNode {
         let mut stack = vec![SnapshotNode::empty(String::new(), Vec::new())];
         for (i, raw) in lines {
             let line = i + 1;
-            let content = raw.split('#').next().unwrap_or("").trim();
+            let content = crate::textio::line_content(raw);
             if content.is_empty() {
                 continue;
             }

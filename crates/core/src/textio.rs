@@ -31,6 +31,13 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// The shared line discipline of every text format in this workspace:
+/// the content of one raw line with any `#` comment stripped and
+/// surrounding whitespace trimmed (empty ⇒ the line carries nothing).
+pub fn line_content(raw: &str) -> &str {
+    raw.split('#').next().unwrap_or("").trim()
+}
+
 /// Serializes a request sequence to the text format.
 pub fn to_text(seq: &RequestSeq) -> String {
     let mut out = String::with_capacity(seq.len() * 16);
@@ -53,7 +60,7 @@ pub fn from_text(text: &str) -> Result<RequestSeq, ParseError> {
     let mut seq = RequestSeq::new();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
-        let content = raw.split('#').next().unwrap_or("").trim();
+        let content = line_content(raw);
         if content.is_empty() {
             continue;
         }
@@ -101,9 +108,85 @@ pub fn from_text(text: &str) -> Result<RequestSeq, ParseError> {
     Ok(seq)
 }
 
+/// Writes one length-prefixed frame — a `u32` big-endian byte count
+/// followed by the payload bytes — to `w`. The framing primitive of the
+/// cluster layer's TCP transport: the text protocols in this workspace
+/// are line-oriented, and a length prefix lets a stream reader recover
+/// whole documents (multi-line frames, embedded snapshots) without
+/// in-band escaping.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the u32 length prefix",
+                payload.len()
+            ),
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame written by [`write_frame`]. Returns
+/// `Ok(None)` on a clean end-of-stream (EOF at a frame boundary); EOF in
+/// the middle of a frame, or a declared length above `max_len` (a
+/// corrupted or hostile prefix would otherwise drive an unbounded
+/// allocation), is an error.
+pub fn read_frame<R: std::io::Read>(r: &mut R, max_len: u32) -> std::io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > max_len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame declares {len} bytes, above the {max_len}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_io_round_trips_and_rejects_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world, multi\nline").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r, 1 << 20).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(
+            read_frame(&mut r, 1 << 20).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(
+            read_frame(&mut r, 1 << 20).unwrap().as_deref(),
+            Some(&b"world, multi\nline"[..])
+        );
+        assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), None);
+
+        // Oversized declared length is an error, not an allocation.
+        let mut r = &[0xFFu8, 0xFF, 0xFF, 0xFF, 0][..];
+        assert!(read_frame(&mut r, 1 << 20).is_err());
+        // EOF mid-frame is an error, not a silent truncation.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, b"full payload").unwrap();
+        partial.truncate(7);
+        let mut r = &partial[..];
+        assert!(read_frame(&mut r, 1 << 20).is_err());
+    }
 
     #[test]
     fn round_trip() {

@@ -115,7 +115,9 @@ impl ErrCode {
         }
     }
 
-    fn as_str(&self) -> &'static str {
+    /// The stable wire token of this code (`Display` uses it; journal
+    /// and replication-frame encodings share it).
+    pub fn as_str(&self) -> &'static str {
         match self {
             ErrCode::Duplicate => "duplicate",
             ErrCode::Unknown => "unknown",
@@ -125,7 +127,8 @@ impl ErrCode {
         }
     }
 
-    fn parse(s: &str) -> Option<ErrCode> {
+    /// Parses a wire token produced by [`ErrCode::as_str`].
+    pub fn parse(s: &str) -> Option<ErrCode> {
         Some(match s {
             "duplicate" => ErrCode::Duplicate,
             "unknown" => ErrCode::Unknown,
@@ -225,6 +228,109 @@ impl EpochRecord {
     }
 }
 
+/// Position of an incremental reader in a journal's record stream (see
+/// [`Journal::records_since`]). Events are counted in the since-genesis
+/// sequence space ([`Journal::total_events`]), so checkpoint truncation
+/// never renumbers a cursor; epochs are identified by their strictly
+/// increasing epoch number. `JournalCursor::default()` is the genesis
+/// position.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalCursor {
+    /// Events consumed so far (since genesis).
+    pub events_seen: u64,
+    /// Highest epoch record consumed so far (`0`: none — recorded
+    /// epochs are always `>= 1`).
+    pub last_epoch: u64,
+}
+
+impl JournalCursor {
+    /// The cursor covering everything `journal` currently holds — the
+    /// starting position of a stream that must not re-ship history.
+    pub fn at_end_of(journal: &Journal) -> JournalCursor {
+        JournalCursor {
+            events_seen: journal.total_events(),
+            last_epoch: journal
+                .segments
+                .iter()
+                .flat_map(|s| s.epochs.iter())
+                .map(|(_, r)| r.epoch)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Advances past one consumed record.
+    pub fn advance(&mut self, record: &JournalRecord<'_>) {
+        match record {
+            JournalRecord::Event(_) => self.events_seen += 1,
+            JournalRecord::Epoch(r) => self.last_epoch = r.epoch,
+        }
+    }
+}
+
+/// One borrowed journal record, as yielded by [`Journal::records_since`]:
+/// the journal's stream interleaves serviced events with the epoch
+/// records of elastic reshards, in recording order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalRecord<'a> {
+    /// A serviced request.
+    Event(&'a JournalEvent),
+    /// A routing-table change at this position.
+    Epoch(&'a EpochRecord),
+}
+
+/// Borrowing iterator over a journal's records past a cursor; see
+/// [`Journal::records_since`].
+#[derive(Debug)]
+pub struct Records<'a> {
+    segments: std::collections::vec_deque::Iter<'a, Segment>,
+    events: &'a [JournalEvent],
+    epochs: &'a [(usize, EpochRecord)],
+    ev_idx: usize,
+    ep_idx: usize,
+    /// Global (since-genesis) index of `events[ev_idx]`.
+    next_global: u64,
+    skip_events: u64,
+    skip_epochs: u64,
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = JournalRecord<'a>;
+
+    fn next(&mut self) -> Option<JournalRecord<'a>> {
+        loop {
+            // An epoch anchored at position `p` precedes event `p` (the
+            // serialization in `Journal::to_text` uses the same rule).
+            if self
+                .epochs
+                .get(self.ep_idx)
+                .is_some_and(|&(pos, _)| pos <= self.ev_idx || self.ev_idx >= self.events.len())
+            {
+                let (_, rec) = &self.epochs[self.ep_idx];
+                self.ep_idx += 1;
+                if rec.epoch > self.skip_epochs {
+                    return Some(JournalRecord::Epoch(rec));
+                }
+                continue;
+            }
+            if let Some(event) = self.events.get(self.ev_idx) {
+                self.ev_idx += 1;
+                let global = self.next_global;
+                self.next_global += 1;
+                if global >= self.skip_events {
+                    return Some(JournalRecord::Event(event));
+                }
+                continue;
+            }
+            let seg = self.segments.next()?;
+            self.events = &seg.events;
+            self.epochs = &seg.epochs;
+            self.ev_idx = 0;
+            self.ep_idx = 0;
+        }
+    }
+}
+
 /// A checkpoint: a full engine snapshot anchoring the start of a
 /// segment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -304,11 +410,87 @@ impl Journal {
     /// All retained events in service order (concatenated across
     /// segments). Events in truncated segments are gone — see
     /// [`Journal::dropped_events`].
+    ///
+    /// **Allocates a fresh `Vec` of the entire retained history on every
+    /// call.** That is the right shape for whole-journal comparisons in
+    /// tests, and wrong for everything else: telemetry and streaming
+    /// must use the borrowing [`Journal::iter_events`], or the
+    /// positioned [`Journal::records_since`] cursor, which walk the
+    /// segments in place.
     pub fn events(&self) -> Vec<JournalEvent> {
-        self.segments
-            .iter()
-            .flat_map(|s| s.events.iter().copied())
-            .collect()
+        self.iter_events().copied().collect()
+    }
+
+    /// Borrowing iterator over all retained events in service order —
+    /// the allocation-free form of [`Journal::events`].
+    pub fn iter_events(&self) -> impl Iterator<Item = &JournalEvent> + '_ {
+        self.segments.iter().flat_map(|s| s.events.iter())
+    }
+
+    /// Events recorded since genesis, truncated segments included — the
+    /// global sequence space [`Journal::records_since`] cursors count in.
+    pub fn total_events(&self) -> u64 {
+        self.dropped_events
+            + self
+                .segments
+                .iter()
+                .map(|s| s.events.len() as u64)
+                .sum::<u64>()
+    }
+
+    /// Incremental cursor: every retained record — event or epoch — the
+    /// journal holds *past* `cursor`, in recording order, borrowed (no
+    /// re-serialization, no cloning). This is how the replication
+    /// primary tails its own journal after each flush.
+    ///
+    /// Returns `None` when the cursor's position predates the retained
+    /// history (checkpoint truncation dropped it) or lies beyond it (a
+    /// cursor from some other journal): the caller must fall back to a
+    /// snapshot bootstrap instead of silently skipping records.
+    pub fn records_since(&self, cursor: JournalCursor) -> Option<Records<'_>> {
+        if cursor.events_seen < self.dropped_events || cursor.events_seen > self.total_events() {
+            return None;
+        }
+        let mut segments = self.segments.iter();
+        let mut current = segments.next().expect("journal always has a segment");
+        let mut next_global = self.dropped_events;
+        // Hop whole segments the cursor has fully consumed (every event
+        // behind it and no unconsumed epoch record — epochs strictly
+        // increase, so checking the last one suffices). Without this a
+        // cursor deep into a long segment history would re-skip every
+        // consumed event on each call — O(history) per poll instead of
+        // O(new records).
+        loop {
+            let seg_events = current.events.len() as u64;
+            let behind = next_global + seg_events <= cursor.events_seen
+                && current
+                    .epochs
+                    .last()
+                    .is_none_or(|(_, r)| r.epoch <= cursor.last_epoch);
+            if !behind {
+                break;
+            }
+            let Some(next) = segments.next() else { break };
+            next_global += seg_events;
+            current = next;
+        }
+        // Arithmetic in-segment skip of consumed events; the per-record
+        // guards in `Records::next` remain as the correctness backstop
+        // (e.g. a segment pinned by an unconsumed trailing epoch).
+        let consumed = cursor
+            .events_seen
+            .saturating_sub(next_global)
+            .min(current.events.len() as u64);
+        Some(Records {
+            segments,
+            events: &current.events,
+            epochs: &current.epochs,
+            ev_idx: consumed as usize,
+            ep_idx: 0,
+            next_global: next_global + consumed,
+            skip_events: cursor.events_seen,
+            skip_epochs: cursor.last_epoch,
+        })
     }
 
     /// Retained events without concatenating (cheap).
@@ -518,7 +700,7 @@ impl Journal {
         while let Some((i, raw)) = lines.next() {
             let line = i + 1;
             let err = |message: String| ParseError { line, message };
-            let content = raw.split('#').next().unwrap_or("").trim();
+            let content = realloc_core::textio::line_content(raw);
             if content.is_empty() {
                 continue;
             }

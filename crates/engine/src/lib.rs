@@ -82,7 +82,10 @@ pub mod shard;
 
 pub use backend::{Backend, BackendKind};
 pub use batch::BatchReport;
-pub use journal::{Checkpoint, EpochRecord, Journal, JournalEvent, ReplayDivergence, ReplayError};
+pub use journal::{
+    Checkpoint, EpochRecord, Journal, JournalCursor, JournalEvent, JournalRecord, Records,
+    ReplayDivergence, ReplayError,
+};
 pub use metrics::{Carryover, Metrics};
 pub use realloc_core::router::Router as EngineRouter;
 
@@ -642,6 +645,102 @@ impl Engine {
             journal.append_epoch(EpochRecord::of(&self.router));
         }
         Ok(report)
+    }
+
+    /// Applies a recorded epoch record: validates that the epoch
+    /// advances, rebuilds the routing table, and reshards exactly as the
+    /// engine that recorded it did. This is the replication/replay apply
+    /// path — journal replay and cluster replicas both re-apply resizes
+    /// through it, so a stream that crosses a resize lands on
+    /// byte-identical placements.
+    pub fn apply_epoch_record(&mut self, record: &EpochRecord) -> Result<(), ReplayError> {
+        self.apply_epoch(record)
+            .map_err(|message| ReplayError::Corrupt(ParseError { line: 0, message }))
+    }
+
+    /// Applies one recorded **batch** of journal events, exactly as a
+    /// replica or replay must: every event of one flush, in recorded
+    /// order, serviced at the recorded batch number, with each produced
+    /// outcome verified against the recording (shard routing, request,
+    /// and netted costs — any mismatch is a [`ReplayError::Divergence`],
+    /// whose `index` is the offset *within this slice*).
+    ///
+    /// Preconditions (violations are graceful [`ReplayError::Corrupt`]
+    /// errors, never panics — frames arrive over the network):
+    /// * the journal is enabled (outcome verification reads it back),
+    /// * `recorded` is non-empty and single-batch, at a batch number not
+    ///   yet used by this engine (batch numbers only move forward),
+    /// * no locally queued requests (they would be swept into the
+    ///   recorded batch and corrupt the comparison).
+    pub fn apply_recorded_batch(&mut self, recorded: &[JournalEvent]) -> Result<(), ReplayError> {
+        let corrupt = |message: String| ReplayError::Corrupt(ParseError { line: 0, message });
+        let Some(first) = recorded.first() else {
+            return Err(corrupt("recorded batch is empty".to_string()));
+        };
+        if self.journal.is_none() {
+            return Err(corrupt(
+                "recorded batches need the journal enabled to verify outcomes".to_string(),
+            ));
+        }
+        let batch = first.batch;
+        if recorded.iter().any(|e| e.batch != batch) {
+            return Err(corrupt(format!(
+                "recorded batch mixes flush numbers (first is {batch})"
+            )));
+        }
+        if batch < self.batches {
+            return Err(corrupt(format!(
+                "recorded batch {batch} regresses the flush counter {}",
+                self.batches
+            )));
+        }
+        if batch == u64::MAX {
+            // Servicing at this number would overflow the counter's
+            // post-flush increment; no honest recording gets here.
+            return Err(corrupt(
+                "recorded batch number overflows the flush counter".to_string(),
+            ));
+        }
+        if self.queued() > 0 {
+            return Err(corrupt(format!(
+                "{} locally queued requests would be swept into recorded batch {batch}",
+                self.queued()
+            )));
+        }
+        // Service the batch at the recorded flush number, then verify
+        // what the journal appended against the recording.
+        self.batches = batch;
+        for e in recorded {
+            self.submit(e.request);
+        }
+        self.flush();
+        let journal = self.journal.as_ref().expect("checked above");
+        let tail = journal.tail_events();
+        debug_assert!(
+            tail.len() >= recorded.len(),
+            "flush appends one event per submit"
+        );
+        let replayed = &tail[tail.len() - recorded.len()..];
+        for (i, (rec, got)) in recorded.iter().zip(replayed).enumerate() {
+            if rec != got {
+                return Err(ReplayError::Divergence(Box::new(ReplayDivergence {
+                    index: i,
+                    recorded: *rec,
+                    replayed: Some(*got),
+                })));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cheap, stable 64-bit digest of the full engine state: FNV-1a over
+    /// the canonical snapshot text ([`realloc_core::snapshot::digest64`]).
+    /// Two engines with byte-identical state have equal digests, so a
+    /// replica can verify it has not diverged from its primary by
+    /// comparing 8 bytes per checkpoint instead of shipping snapshots.
+    /// Detects drift and corruption; not an authenticator.
+    pub fn state_digest(&self) -> u64 {
+        realloc_core::snapshot::digest64(&self.snapshot_text())
     }
 
     /// Applies a journal epoch record during replay/recovery: validates

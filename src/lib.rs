@@ -43,6 +43,7 @@
 //! | [`baselines`] | §1, §4, §6 | naive / EDF / LLF / offline / sized-EDF |
 //! | [`workloads`] | §6, §7 | churn generators and lower-bound adversaries |
 //! | [`engine`] | — | sharded, batched, multi-tenant scheduling service |
+//! | [`cluster`] | — | journal-shipping replication: primary/replica, fenced failover |
 //! | [`sim`] | — | harness, stats, experiment binaries |
 //!
 //! # Serving layer
@@ -93,19 +94,26 @@ pub mod workloads {
 pub mod engine {
     pub use realloc_engine::*;
 }
+/// Journal-shipping replication (re-export of `realloc-cluster`).
+pub mod cluster {
+    pub use realloc_cluster::*;
+}
 /// Simulation harness (re-export of `realloc-sim`).
 pub mod sim {
     pub use realloc_sim::*;
 }
 
+pub use realloc_cluster::{
+    ApplyError, ClusterError, Frame, FrameSink, Payload, Primary, Replica, TransportError,
+};
 pub use realloc_core::router::Router;
 pub use realloc_core::{
     log_star, CostMeter, Error, Job, JobId, Move, Placement, Reallocator, Request, RequestOutcome,
     RequestSeq, Restorable, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
 };
 pub use realloc_engine::{
-    BackendKind, Engine, EngineConfig, EpochRecord, Journal, Metrics, RecoverError, ReplayError,
-    ResizeError, ResizeReport, TenantId,
+    BackendKind, Engine, EngineConfig, EpochRecord, Journal, JournalCursor, JournalRecord, Metrics,
+    RecoverError, ReplayError, ResizeError, ResizeReport, TenantId,
 };
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
