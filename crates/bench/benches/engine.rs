@@ -4,14 +4,18 @@
 //!
 //! One fixed churn workload (unaligned windows, γ = 8) is replayed
 //! through the engine at 1–16 shards, sequential and parallel flush, to
-//! seed the serving-layer perf trajectory. Results land in
-//! `BENCH_engine_ingest.json`; the recovery comparison in
-//! `BENCH_engine_recovery.json` (see the criterion shim's
+//! seed the serving-layer perf trajectory. Ingest runs **with a live
+//! telemetry registry attached** — the recorded numbers are the
+//! instrumented serving configuration, as deployed (the uninstrumented
+//! delta is measured separately by the `telemetry_overhead` group).
+//! Results land in `BENCH_engine_ingest.json`; the recovery comparison
+//! in `BENCH_engine_recovery.json` (see the criterion shim's
 //! `BENCH_OUT_DIR`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use realloc_engine::{BackendKind, Engine, Journal};
 use realloc_sim::harness::{churn_seq, engine_config};
+use realloc_telemetry::Telemetry;
 
 const REQUESTS: usize = 20_000;
 const BATCH: usize = 256;
@@ -19,12 +23,14 @@ const BATCH: usize = 256;
 fn bench_engine_ingest(c: &mut Criterion) {
     let backend = realloc_engine::BackendKind::TheoremOne { gamma: 8 };
     let seq = churn_seq(16, 8, 1024, 1 << 12, true, REQUESTS, 13);
+    let tel = Telemetry::new();
     let mut group = c.benchmark_group("engine_ingest");
     group.throughput(Throughput::Elements(seq.len() as u64));
     for &shards in &[1usize, 2, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::new("sequential", shards), &seq, |b, seq| {
             b.iter(|| {
                 let mut e = Engine::new(engine_config(shards, 1, backend, false));
+                e.attach_telemetry(&tel);
                 e.ingest(seq, BATCH)
             })
         });
@@ -33,6 +39,7 @@ fn bench_engine_ingest(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel", shards), &seq, |b, seq| {
             b.iter(|| {
                 let mut e = Engine::new(engine_config(shards, 1, backend, true));
+                e.attach_telemetry(&tel);
                 e.ingest(seq, BATCH)
             })
         });

@@ -8,6 +8,10 @@
 //! * **catch-up** — replica bootstrap latency as a function of the tail
 //!   length behind the latest checkpoint (the O(tail) claim, measured).
 //!
+//! Both sides run **with live telemetry registries attached** (engine,
+//! streaming, and applying instruments) — the recorded numbers are the
+//! observable configuration, as deployed.
+//!
 //! Results land in `BENCH_engine_replication.json` (see the criterion
 //! shim's `BENCH_OUT_DIR`).
 
@@ -15,6 +19,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use realloc_cluster::{Frame, Primary, Replica};
 use realloc_engine::{BackendKind, Engine};
 use realloc_sim::harness::{churn_seq, engine_config};
+use realloc_telemetry::Telemetry;
 
 const REQUESTS: usize = 10_000;
 const BATCH: usize = 256;
@@ -29,6 +34,8 @@ fn journaled() -> Engine {
 
 fn bench_replication(c: &mut Criterion) {
     let seq = churn_seq(1, 8, 256, 1 << 12, false, REQUESTS, 31);
+    let tel = Telemetry::new();
+    let replica_tel = Telemetry::new();
     // One group for both phases: the shim writes one
     // `BENCH_engine_replication.json` per `finish()`.
     let mut group = c.benchmark_group("engine_replication");
@@ -36,6 +43,7 @@ fn bench_replication(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("bare_ingest", SHARDS), &seq, |b, seq| {
         b.iter(|| {
             let mut e = journaled();
+            e.attach_telemetry(&tel);
             e.ingest(seq, BATCH)
         })
     });
@@ -45,7 +53,9 @@ fn bench_replication(c: &mut Criterion) {
         |b, seq| {
             b.iter(|| {
                 let mut primary = Primary::new(journaled(), 1).unwrap();
+                primary.attach_telemetry(&tel);
                 let mut replica = Replica::new();
+                replica.attach_telemetry(&replica_tel);
                 let (_, boot) = primary.bootstrap();
                 for f in &boot {
                     replica.apply(f).unwrap();
@@ -71,6 +81,7 @@ fn bench_replication(c: &mut Criterion) {
         let seq = churn_seq(1, 8, 256, 1 << 12, false, 4096 + tail, 67);
         let checkpoint_at = seq.len() - tail;
         let mut primary = Primary::new(journaled(), 1).unwrap();
+        primary.attach_telemetry(&tel);
         let mut checkpointed = false;
         for chunk in seq.requests().chunks(BATCH) {
             for &r in chunk {
@@ -91,6 +102,7 @@ fn bench_replication(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("catch_up_tail", tail_events), |b| {
             b.iter(|| {
                 let mut joiner = Replica::new();
+                joiner.attach_telemetry(&replica_tel);
                 for f in &boot {
                     joiner.apply(f).unwrap();
                 }

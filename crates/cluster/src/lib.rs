@@ -75,6 +75,7 @@ pub mod frame;
 pub mod primary;
 pub mod replica;
 pub mod tcp;
+mod tele;
 pub mod transport;
 
 pub use frame::{Frame, Payload, MAX_FRAME_BYTES};

@@ -9,11 +9,13 @@
 //! the differential tests can drive it deterministically.
 
 use crate::frame::{Frame, Payload};
+use crate::tele::PrimaryTele;
 use crate::ClusterError;
 use realloc_core::Request;
 use realloc_engine::{
     BatchReport, Engine, JournalCursor, JournalEvent, JournalRecord, ResizeError, ResizeReport,
 };
+use realloc_telemetry::{Severity, Telemetry};
 use std::collections::VecDeque;
 
 /// Frames of replicated history the primary retains for lagging-replica
@@ -35,6 +37,8 @@ pub struct Primary {
     /// `(seq, events_before)` of the latest `check` marker frame, if any
     /// — the anchor for checkpoint-based (O(tail)) replica bootstrap.
     last_check: Option<(u64, u64)>,
+    /// Streaming-side instruments ([`Primary::attach_telemetry`]).
+    tele: Option<Box<PrimaryTele>>,
 }
 
 impl Primary {
@@ -59,7 +63,22 @@ impl Primary {
             history: VecDeque::new(),
             history_cap: DEFAULT_HISTORY_FRAMES,
             last_check: None,
+            tele: None,
         })
+    }
+
+    /// Attaches a telemetry registry: the wrapped engine gets its full
+    /// instrument set ([`Engine::attach_telemetry`]) and the streaming
+    /// side adds `cluster_term` / `cluster_next_seq` gauges, per-payload
+    /// frame counters, and checkpoint/bootstrap production timings. A
+    /// disabled handle detaches both layers.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.engine.attach_telemetry(telemetry);
+        self.tele = PrimaryTele::build(telemetry);
+        if let Some(tele) = &self.tele {
+            tele.term.set(self.term);
+            tele.next_seq.set(self.next_seq);
+        }
     }
 
     /// Promotion constructor: resumes the stream of a replica's engine
@@ -77,6 +96,7 @@ impl Primary {
             history: VecDeque::new(),
             history_cap: DEFAULT_HISTORY_FRAMES,
             last_check: None,
+            tele: None,
         }
     }
 
@@ -159,6 +179,7 @@ impl Primary {
     /// verify the digest and cut their own local checkpoints at the
     /// marker.
     pub fn checkpoint(&mut self) -> Vec<Frame> {
+        let t0 = self.tele.as_ref().map(|t| t.t.now_nanos());
         // Ship everything recorded so far *before* truncation can drop
         // it, including the flush `Engine::checkpoint` performs on a
         // non-empty queue.
@@ -188,7 +209,17 @@ impl Primary {
             digest,
         });
         self.last_check = Some((marker.seq, events_applied));
+        let marker_seq = marker.seq;
         frames.push(marker);
+        if let Some(tele) = &self.tele {
+            let took = tele
+                .t
+                .now_nanos()
+                .saturating_sub(t0.expect("stamped above"));
+            tele.checkpoint_nanos.record(took);
+            tele.t
+                .point(Severity::Info, "ship_checkpoint", marker_seq, took);
+        }
         frames
     }
 
@@ -251,6 +282,24 @@ impl Primary {
     /// the new replica catches up from the checkpoint in O(tail),
     /// exercising exactly the engine's recovery path.
     pub fn bootstrap(&mut self) -> (Vec<Frame>, Vec<Frame>) {
+        let t0 = self.tele.as_ref().map(|t| t.t.now_nanos());
+        let (owed, frames) = self.bootstrap_inner();
+        if let Some(tele) = &self.tele {
+            let took = tele
+                .t
+                .now_nanos()
+                .saturating_sub(t0.expect("stamped above"));
+            tele.bootstrap_nanos.record(took);
+            // Joiner bootstrap snapshots bypass `stamp` (they are not
+            // stream frames); count the shipment here.
+            tele.frames_snapshot.inc();
+            tele.t
+                .point(Severity::Info, "bootstrap", frames.len() as u64, took);
+        }
+        (owed, frames)
+    }
+
+    fn bootstrap_inner(&mut self) -> (Vec<Frame>, Vec<Frame>) {
         let mut owed = self.poll();
         // A snapshot cut while requests sit queued would hand the
         // joiner those pending queues — and the events frame of the
@@ -321,6 +370,16 @@ impl Primary {
     /// Stamps a stream payload with this term and the next sequence
     /// number, retaining it in the catch-up history.
     fn stamp(&mut self, payload: Payload) -> Frame {
+        if let Some(tele) = &self.tele {
+            match &payload {
+                Payload::Events(_) => tele.frames_events.inc(),
+                Payload::Epoch(_) => tele.frames_epoch.inc(),
+                Payload::Check { .. } => tele.frames_check.inc(),
+                Payload::Snapshot { .. } => tele.frames_snapshot.inc(),
+            }
+            tele.next_seq.set(self.next_seq + 1);
+            tele.term.set(self.term);
+        }
         let frame = Frame {
             term: self.term,
             seq: self.next_seq,

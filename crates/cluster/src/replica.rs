@@ -24,9 +24,11 @@
 
 use crate::frame::{Frame, Payload};
 use crate::primary::Primary;
+use crate::tele::ReplicaTele;
 use crate::ClusterError;
 use realloc_core::{JobId, Window};
 use realloc_engine::{Engine, Metrics, ReplayError};
+use realloc_telemetry::{Severity, Telemetry};
 
 /// Why a frame was not applied. Everything here is a graceful rejection
 /// — the replica never panics on wire input and stays consistent (a
@@ -105,12 +107,32 @@ pub struct Replica {
     events_applied: u64,
     /// Promotion/retirement latch.
     retired: bool,
+    /// Applying-side instruments ([`Replica::attach_telemetry`]).
+    tele: Option<Box<ReplicaTele>>,
 }
 
 impl Replica {
     /// An empty replica awaiting its bootstrap snapshot.
     pub fn new() -> Replica {
         Replica::default()
+    }
+
+    /// Attaches a telemetry registry: per-frame apply timing and
+    /// applied/rejected counters, fencing-term gauges and change counts,
+    /// digest-check and bootstrap durations — and, once a bootstrap
+    /// snapshot restores an engine, that engine gets the registry too
+    /// ([`Engine::attach_telemetry`], re-applied after every bootstrap).
+    /// A disabled handle detaches.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = ReplicaTele::build(telemetry);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.attach_telemetry(telemetry);
+        }
+        if let Some(tele) = &self.tele {
+            tele.term.set(self.term);
+            tele.last_seq.set(self.last_seq);
+            tele.events_applied.set(self.events_applied);
+        }
     }
 
     /// Applies one frame. On error the replicated *state* is unchanged,
@@ -120,6 +142,53 @@ impl Replica {
     /// replica must be re-bootstrapped — a half-applied divergent batch
     /// is not rolled back.
     pub fn apply(&mut self, frame: &Frame) -> Result<(), ApplyError> {
+        // Take the instruments out so the apply body can borrow `self`;
+        // the uninstrumented path is a single Option check.
+        let Some(tele) = self.tele.take() else {
+            return self.apply_inner(frame);
+        };
+        let t0 = tele.t.now_nanos();
+        let prev_term = self.term;
+        let result = self.apply_inner(frame);
+        let took = tele.t.now_nanos().saturating_sub(t0);
+        tele.apply_nanos.record(took);
+        match (&frame.payload, &result) {
+            (Payload::Check { .. }, Ok(())) => tele.digest_check_nanos.record(took),
+            (Payload::Snapshot { .. }, Ok(())) => {
+                tele.bootstrap_nanos.record(took);
+                // The restored engine is brand new — instrument it.
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.attach_telemetry(&tele.t);
+                }
+            }
+            _ => {}
+        }
+        match &result {
+            Ok(()) => tele.frames_applied.inc(),
+            Err(e) => {
+                tele.frames_rejected.inc();
+                tele.t
+                    .point(Severity::Warn, "frame_rejected", frame.term, frame.seq);
+                // Divergence is the one non-recoverable rejection.
+                if matches!(e, ApplyError::Diverged(_)) {
+                    tele.t
+                        .point(Severity::Warn, "diverged", frame.term, frame.seq);
+                }
+            }
+        }
+        if self.term != prev_term {
+            tele.term_changes.inc();
+            tele.t
+                .point(Severity::Info, "term_adopted", self.term, frame.seq);
+        }
+        tele.term.set(self.term);
+        tele.last_seq.set(self.last_seq);
+        tele.events_applied.set(self.events_applied);
+        self.tele = Some(tele);
+        result
+    }
+
+    fn apply_inner(&mut self, frame: &Frame) -> Result<(), ApplyError> {
         if self.retired {
             return Err(ApplyError::Retired);
         }

@@ -32,8 +32,10 @@
 
 use crate::frame::{Frame, MAX_FRAME_BYTES};
 use crate::replica::Replica;
+use crate::tele::LinkTele;
 use crate::transport::{FrameSink, TransportError};
 use realloc_core::textio::{read_frame, write_frame};
+use realloc_telemetry::Telemetry;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -159,6 +161,11 @@ fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>) {
 pub struct PrimaryLink {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The replica's address, as connected (the telemetry label).
+    peer: SocketAddr,
+    /// Per-link instruments ([`PrimaryLink::attach_telemetry`]), labeled
+    /// `replica="<peer>"`.
+    tele: Option<Box<LinkTele>>,
 }
 
 impl PrimaryLink {
@@ -166,27 +173,73 @@ impl PrimaryLink {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<PrimaryLink> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr()?;
         let write_half = stream.try_clone()?;
         Ok(PrimaryLink {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
+            peer,
+            tele: None,
         })
+    }
+
+    /// The replica address this link ships to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Attaches per-link instruments, labeled with this link's replica
+    /// address: bytes shipped, ack round-trip latency, the highest
+    /// acknowledged sequence, and send errors. A registry watching a
+    /// whole fan-out distinguishes links by the `replica` label — the
+    /// per-replica lag a poller reads is the primary's `cluster_next_seq
+    /// − 1` minus this link's `cluster_link_acked_seq` (or the replica's
+    /// own `cluster_replica_last_seq`). A disabled handle detaches.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = LinkTele::build(telemetry, &self.peer.to_string());
     }
 }
 
 impl FrameSink for PrimaryLink {
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        write_frame(&mut self.writer, frame.to_text().as_bytes())?;
-        self.writer.flush()?;
-        let Some(ack) = read_frame(&mut self.reader, MAX_ACK_BYTES)? else {
-            return Err(TransportError::Closed);
-        };
-        let ack = String::from_utf8(ack)
-            .map_err(|e| TransportError::Rejected(format!("ack is not UTF-8: {e}")))?;
-        match ack.split_once(' ') {
-            Some(("ok", _)) => Ok(()),
-            Some(("err", detail)) => Err(TransportError::Rejected(detail.to_string())),
-            _ => Err(TransportError::Rejected(format!("malformed ack '{ack}'"))),
+        let text = frame.to_text();
+        let t0 = self.tele.as_ref().map(|t| t.t.now_nanos());
+        let result = send_text(&mut self.reader, &mut self.writer, &text);
+        if let Some(tele) = &self.tele {
+            match &result {
+                Ok(()) => {
+                    tele.bytes_shipped.add(text.len() as u64);
+                    tele.ack_rtt_nanos.record(
+                        tele.t
+                            .now_nanos()
+                            .saturating_sub(t0.expect("stamped above")),
+                    );
+                    tele.acked_seq.set(frame.seq);
+                }
+                Err(_) => tele.send_errors.inc(),
+            }
         }
+        result
+    }
+}
+
+/// The un-instrumented send/ack round trip ([`PrimaryLink::send`] wraps
+/// this with the per-link telemetry).
+fn send_text(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    text: &str,
+) -> Result<(), TransportError> {
+    write_frame(writer, text.as_bytes())?;
+    writer.flush()?;
+    let Some(ack) = read_frame(reader, MAX_ACK_BYTES)? else {
+        return Err(TransportError::Closed);
+    };
+    let ack = String::from_utf8(ack)
+        .map_err(|e| TransportError::Rejected(format!("ack is not UTF-8: {e}")))?;
+    match ack.split_once(' ') {
+        Some(("ok", _)) => Ok(()),
+        Some(("err", detail)) => Err(TransportError::Rejected(detail.to_string())),
+        _ => Err(TransportError::Rejected(format!("malformed ack '{ack}'"))),
     }
 }

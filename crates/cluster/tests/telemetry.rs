@@ -1,0 +1,257 @@
+//! Replication observability proofs.
+//!
+//! Registries on both ends of a replicated pair are driven by the same
+//! deterministic frame stream, so their counters and gauges are exact:
+//! the primary's per-payload frame counters match the frames it actually
+//! stamped, the replica's gauges mirror its public accessors after every
+//! apply, and the **replication lag** a poller computes from the two
+//! registries — primary `cluster_next_seq − 1` minus replica
+//! `cluster_replica_last_seq` — is exactly the number of stream frames
+//! withheld from the replica. Manual clocks pin every duration sample to
+//! zero, making the whole registry a pure function of the event stream.
+//!
+//! The TCP test exercises the per-link instruments (`cluster_link_*`,
+//! labeled `replica="<addr>"`): bytes shipped, ack RTT sample counts,
+//! the acked-seq gauge, and the send-error counter across a server
+//! shutdown.
+
+use realloc_cluster::tcp::{PrimaryLink, ReplicaServer};
+use realloc_cluster::transport::FrameSink;
+use realloc_cluster::{Frame, Primary, Replica};
+use realloc_core::{JobId, Request, Window};
+use realloc_engine::{BackendKind, Engine, EngineConfig};
+use realloc_telemetry::{labeled, Clock, Severity, Telemetry};
+
+fn journaled_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        machines_per_shard: 1,
+        backend: BackendKind::TheoremOne { gamma: 8 },
+        parallel: false,
+        journal: true,
+        retained_segments: 2,
+    }
+}
+
+fn counter(t: &Telemetry, name: &str) -> u64 {
+    t.counter_value(name).unwrap_or(0)
+}
+
+fn gauge(t: &Telemetry, name: &str) -> u64 {
+    t.gauge_value(name).unwrap_or(0)
+}
+
+/// Streams a bootstrapped workload with a resize and a checkpoint and
+/// checks every cluster-level counter/gauge against the public
+/// accessors on both roles — including the cross-registry lag formula.
+#[test]
+fn replication_registry_tracks_stream() {
+    let pt = Telemetry::with_clock(Clock::manual(), 64);
+    let rt = Telemetry::with_clock(Clock::manual(), 64);
+    let mut primary = Primary::new(Engine::new(journaled_config(2)), 1).unwrap();
+    primary.attach_telemetry(&pt);
+    let mut replica = Replica::new();
+    replica.attach_telemetry(&rt);
+
+    let (owed, boot) = primary.bootstrap();
+    assert!(owed.is_empty());
+    for f in &boot {
+        replica.apply(f).unwrap();
+    }
+    assert!(replica.is_bootstrapped());
+
+    let mut stream: Vec<Frame> = Vec::new();
+    let mut events_frames = 0u64;
+    for batch in 0..6u64 {
+        for i in 0..24u64 {
+            primary.submit(Request::Insert {
+                id: JobId(batch * 24 + i),
+                window: Window::new(0, 1 << 12),
+            });
+        }
+        let (_, frames) = primary.flush();
+        events_frames += frames.len() as u64;
+        stream.extend(frames);
+        if batch == 2 {
+            let (_, frames) = primary.resize(3).unwrap();
+            stream.extend(frames);
+        }
+    }
+    stream.extend(primary.checkpoint());
+
+    // Primary side: per-payload counters count exactly what was stamped.
+    assert_eq!(counter(&pt, "cluster_frames_events_total"), events_frames);
+    assert_eq!(counter(&pt, "cluster_frames_epoch_total"), 1);
+    assert_eq!(counter(&pt, "cluster_frames_check_total"), 1);
+    // One snapshot: the joiner bootstrap.
+    assert_eq!(counter(&pt, "cluster_frames_snapshot_total"), 1);
+    assert_eq!(gauge(&pt, "cluster_next_seq"), primary.next_seq());
+    assert_eq!(gauge(&pt, "cluster_term"), primary.term());
+    assert_eq!(
+        pt.histogram_snapshot("cluster_checkpoint_nanos")
+            .map(|h| h.count()),
+        Some(1)
+    );
+    assert_eq!(
+        pt.histogram_snapshot("cluster_bootstrap_nanos")
+            .map(|h| h.count()),
+        Some(1)
+    );
+
+    // Withhold the tail: the cross-registry lag formula must report
+    // exactly the withheld frame count.
+    let withheld = 3usize.min(stream.len());
+    for f in &stream[..stream.len() - withheld] {
+        replica.apply(f).unwrap();
+    }
+    let lag = gauge(&pt, "cluster_next_seq") - 1 - gauge(&rt, "cluster_replica_last_seq");
+    assert_eq!(lag as usize, withheld);
+
+    // Catch up: lag collapses to zero and every replica gauge mirrors
+    // its accessor.
+    for f in &stream[stream.len() - withheld..] {
+        replica.apply(f).unwrap();
+    }
+    assert_eq!(
+        gauge(&pt, "cluster_next_seq") - 1,
+        gauge(&rt, "cluster_replica_last_seq")
+    );
+    assert_eq!(gauge(&rt, "cluster_replica_last_seq"), replica.last_seq());
+    assert_eq!(gauge(&rt, "cluster_replica_term"), replica.term());
+    assert_eq!(
+        gauge(&rt, "cluster_replica_events_applied"),
+        replica.events_applied()
+    );
+    assert_eq!(
+        counter(&rt, "cluster_replica_frames_applied_total"),
+        boot.len() as u64 + stream.len() as u64
+    );
+    assert_eq!(counter(&rt, "cluster_replica_frames_rejected_total"), 0);
+    // Digest checks: one per `check` marker.
+    assert_eq!(
+        rt.histogram_snapshot("cluster_replica_digest_check_nanos")
+            .map(|h| h.count()),
+        Some(1)
+    );
+    assert_eq!(
+        rt.histogram_snapshot("cluster_replica_bootstrap_nanos")
+            .map(|h| h.count()),
+        Some(1)
+    );
+    // The two lineages really are identical — the registries observed a
+    // faithful stream, not a coincidentally matching one.
+    assert_eq!(
+        replica.state_digest(),
+        Some(primary.engine().state_digest())
+    );
+}
+
+/// Rejections and fencing-term adoptions land in the counters and the
+/// trace ring with the expected severities.
+#[test]
+fn rejections_and_term_changes_are_counted() {
+    let rt = Telemetry::with_clock(Clock::manual(), 64);
+    let mut primary = Primary::new(Engine::new(journaled_config(1)), 1).unwrap();
+    let mut replica = Replica::new();
+    replica.attach_telemetry(&rt);
+
+    let (_, boot) = primary.bootstrap();
+    for f in &boot {
+        replica.apply(f).unwrap();
+    }
+    // Bootstrapping adopted term 1 from term 0.
+    assert_eq!(counter(&rt, "cluster_replica_term_changes_total"), 1);
+
+    primary.submit(Request::Insert {
+        id: JobId(1),
+        window: Window::new(0, 64),
+    });
+    let (_, frames) = primary.flush();
+    let good = frames.into_iter().next().unwrap();
+
+    // A sequence gap at a *higher* term: rejected, but the term is
+    // adopted (fencing) — both must be visible.
+    let gap = Frame {
+        term: 7,
+        seq: good.seq + 5,
+        payload: good.payload.clone(),
+    };
+    assert!(replica.apply(&gap).is_err());
+    assert_eq!(counter(&rt, "cluster_replica_frames_rejected_total"), 1);
+    assert_eq!(counter(&rt, "cluster_replica_term_changes_total"), 2);
+    assert_eq!(gauge(&rt, "cluster_replica_term"), 7);
+
+    // The original frame is now fenced: stale term.
+    assert!(replica.apply(&good).is_err());
+    assert_eq!(counter(&rt, "cluster_replica_frames_rejected_total"), 2);
+
+    let events = rt.trace_events();
+    assert!(events
+        .iter()
+        .any(|e| e.key == "frame_rejected" && e.severity == Severity::Warn));
+    assert!(events
+        .iter()
+        .any(|e| e.key == "term_adopted" && e.severity == Severity::Info));
+    assert!(!events.iter().any(|e| e.key == "diverged"));
+}
+
+/// Per-link instruments over the real TCP transport: bytes shipped and
+/// RTT samples per acknowledged frame, the acked-seq high-water gauge,
+/// and send errors once the server is gone.
+#[test]
+fn tcp_link_metrics_label_the_peer() {
+    let t = Telemetry::new();
+    let mut primary = Primary::new(Engine::new(journaled_config(1)), 1).unwrap();
+    let mut server = ReplicaServer::bind("127.0.0.1:0", Replica::new()).unwrap();
+    let mut link = PrimaryLink::connect(server.addr()).unwrap();
+    link.attach_telemetry(&t);
+    let label = link.peer().to_string();
+
+    let (_, boot) = primary.bootstrap();
+    let mut shipped = 0u64;
+    let mut sent = 0u64;
+    let mut last_seq = 0u64;
+    for f in &boot {
+        shipped += f.to_text().len() as u64;
+        link.send(f).unwrap();
+        sent += 1;
+        last_seq = f.seq;
+    }
+    for i in 0..16u64 {
+        primary.submit(Request::Insert {
+            id: JobId(i),
+            window: Window::new(0, 256),
+        });
+    }
+    let (_, frames) = primary.flush();
+    for f in &frames {
+        shipped += f.to_text().len() as u64;
+        link.send(f).unwrap();
+        sent += 1;
+        last_seq = f.seq;
+    }
+
+    let bytes = labeled("cluster_link_bytes_shipped_total", "replica", &label);
+    let rtt = labeled("cluster_link_ack_rtt_nanos", "replica", &label);
+    let acked = labeled("cluster_link_acked_seq", "replica", &label);
+    let errors = labeled("cluster_link_send_errors_total", "replica", &label);
+    assert_eq!(counter(&t, &bytes), shipped);
+    assert_eq!(t.histogram_snapshot(&rtt).map(|h| h.count()), Some(sent));
+    assert_eq!(gauge(&t, &acked), last_seq);
+    assert_eq!(counter(&t, &errors), 0);
+
+    // Kill the server: the next send fails and only the error counter
+    // moves.
+    server.shutdown();
+    drop(server);
+    let mut failures = 0u64;
+    for f in &frames {
+        if link.send(f).is_err() {
+            failures += 1;
+            break;
+        }
+    }
+    assert_eq!(failures, 1, "send into a dead server must error");
+    assert_eq!(counter(&t, &errors), 1);
+    assert_eq!(counter(&t, &bytes), shipped, "failed sends ship no bytes");
+}

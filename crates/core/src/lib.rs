@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod cost;
 pub mod error;
 pub mod feasibility;
@@ -48,6 +49,7 @@ pub mod tower;
 pub mod traits;
 pub mod window;
 
+pub use clock::Clock;
 pub use cost::{CostMeter, Move, Placement, RequestOutcome, SlotMove};
 pub use error::Error;
 pub use job::{Job, JobId};

@@ -417,6 +417,11 @@ impl Journal {
     /// must use the borrowing [`Journal::iter_events`], or the
     /// positioned [`Journal::records_since`] cursor, which walk the
     /// segments in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates the entire retained history per call; use the borrowing \
+                `iter_events`, or `records_since` for positioned streaming"
+    )]
     pub fn events(&self) -> Vec<JournalEvent> {
         self.iter_events().copied().collect()
     }

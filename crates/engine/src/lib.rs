@@ -79,6 +79,7 @@ pub mod journal;
 pub mod metrics;
 pub mod pool;
 pub mod shard;
+mod tele;
 
 pub use backend::{Backend, BackendKind};
 pub use batch::BatchReport;
@@ -92,11 +93,13 @@ pub use realloc_core::router::Router as EngineRouter;
 use crate::journal::Costs;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardDrain};
+use crate::tele::EngineTele;
 use realloc_core::cost::Placement;
 use realloc_core::router::{tenant_of, Router, RouterError};
 use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
 use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, Request, RequestSeq, ValidationError, Window};
+use realloc_telemetry::{Histogram, Severity, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -184,6 +187,11 @@ pub struct Engine {
     pool_forced: bool,
     journal: Option<Journal>,
     batches: u64,
+    /// Resolved observability instruments, present iff
+    /// [`Engine::attach_telemetry`] was given an enabled registry.
+    /// Runtime-only: excluded from snapshots so replication digests stay
+    /// a pure function of the replayed event stream.
+    tele: Option<Box<EngineTele>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -226,6 +234,41 @@ impl Engine {
             pool_forced: false,
             journal,
             batches: 0,
+            tele: None,
+        }
+    }
+
+    /// Attaches a telemetry registry: resolves every engine instrument
+    /// once (hot paths never touch the registry's name map again),
+    /// installs drain-path handles on every shard, and publishes the
+    /// current gauges. Attaching [`realloc_telemetry::disabled`] (or any
+    /// disabled handle) detaches — the engine reverts to zero-overhead
+    /// uninstrumented paths.
+    ///
+    /// Survives resizes: counters/histograms accumulate at the engine
+    /// level and fresh shards get handles re-installed, so lifetime
+    /// totals keep counting across [`Engine::resize`] exactly like the
+    /// exact-metrics [`Carryover`] path. Telemetry state is **not** part
+    /// of engine snapshots — restore/recovery paths start uninstrumented
+    /// and embedders re-attach (persist the registry itself with
+    /// [`realloc_telemetry::Telemetry::snapshot_text`] if continuity
+    /// across restarts is wanted).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = EngineTele::build(telemetry);
+        self.apply_shard_tele();
+        if let Some(tele) = &self.tele {
+            tele.epoch.set(self.router.epoch());
+            tele.shards.set(self.router.shards() as u64);
+            tele.active_jobs.set(self.active_count() as u64);
+        }
+    }
+
+    /// Installs the current drain-path instrument bundle on every live
+    /// shard (re-run after reshards swap in fresh shards).
+    fn apply_shard_tele(&self) {
+        let bundle = self.tele.as_ref().map(|t| t.shard_tele());
+        for cell in &self.shards {
+            lock(cell).set_telemetry(bundle.clone());
         }
     }
 
@@ -309,6 +352,13 @@ impl Engine {
     /// confines each tenant to its own slice; handing tenants `submit`
     /// would let them address each other's jobs.
     pub fn submit(&mut self, request: Request) {
+        if let Some(tele) = &mut self.tele {
+            // Queue-wait phase start: one clock read per batch (the
+            // branch below is the only per-request telemetry cost).
+            if tele.first_enqueue_at.is_none() {
+                tele.first_enqueue_at = Some(tele.now());
+            }
+        }
         let shard = self.shard_of(request.job_id());
         lock(&self.shards[shard]).enqueue(request);
     }
@@ -365,6 +415,9 @@ impl Engine {
     /// each shard processes its own queue in FIFO order either way, so
     /// results are identical.
     pub fn flush(&mut self) -> BatchReport {
+        if self.tele.is_some() {
+            return self.flush_instrumented();
+        }
         let mut drains: Vec<ShardDrain> = Vec::with_capacity(self.shards.len());
         match &self.pool {
             Some(pool) => pool.drain_all(&mut drains),
@@ -372,6 +425,13 @@ impl Engine {
         }
         let batch = self.batches;
         self.batches += 1;
+        self.append_drains(batch, &drains);
+        BatchReport::from_drains(batch, &drains)
+    }
+
+    /// The journal-append step of a flush (shared by the plain and
+    /// instrumented paths so the recorded stream is identical).
+    fn append_drains(&mut self, batch: u64, drains: &[ShardDrain]) {
         if let Some(journal) = &mut self.journal {
             for (shard, drain) in drains.iter().enumerate() {
                 for &(request, result) in &drain.records {
@@ -384,6 +444,68 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// [`Engine::flush`] with the telemetry bracketing: phase timings
+    /// (queue wait → barrier → journal → total), a `flush` trace span,
+    /// lifetime counters, and the exact-cost adaptation. Identical
+    /// scheduling outcomes to the plain path — instrumentation only ever
+    /// reads the drains.
+    fn flush_instrumented(&mut self) -> BatchReport {
+        let mut tele = self.tele.take().expect("flush checked tele presence");
+        let start = tele.now();
+        let span = tele.t.span("flush", self.batches);
+        if let Some(at) = tele.first_enqueue_at.take() {
+            tele.queue_wait.record(start.saturating_sub(at));
+        }
+        let mut drains: Vec<ShardDrain> = Vec::with_capacity(self.shards.len());
+        match &self.pool {
+            Some(pool) => pool.drain_all(&mut drains),
+            None => drains.extend(self.shards.iter().map(|s| lock(s).drain())),
+        }
+        let after_drain = tele.now();
+        tele.barrier.record(after_drain.saturating_sub(start));
+        let batch = self.batches;
+        self.batches += 1;
+        self.append_drains(batch, &drains);
+        if self.journal.is_some() {
+            tele.journal_append
+                .record(tele.now().saturating_sub(after_drain));
+        }
+        // Post-pass over the drain records: lifetime counters plus the
+        // exact cost histogram adapted into the registry (gauges for the
+        // exact percentiles, log buckets for the summary).
+        let (mut ok, mut failed) = (0u64, 0u64);
+        let (mut reallocations, mut migrations) = (0u64, 0u64);
+        let mut costs_local = Histogram::new();
+        for drain in &drains {
+            for (_, result) in &drain.records {
+                match result {
+                    Ok(costs) => {
+                        ok += 1;
+                        reallocations += costs.reallocations;
+                        migrations += costs.migrations;
+                        tele.cost_exact.record(costs.reallocations);
+                        costs_local.record(costs.reallocations);
+                    }
+                    Err(_) => failed += 1,
+                }
+            }
+        }
+        tele.requests_total.add(ok);
+        tele.failed_total.add(failed);
+        tele.reallocations_total.add(reallocations);
+        tele.migrations_total.add(migrations);
+        tele.flushes_total.inc();
+        tele.flush_events.record(ok + failed);
+        if !costs_local.is_empty() {
+            tele.realloc_cost.merge(&costs_local);
+        }
+        tele.publish_cost_gauges();
+        tele.active_jobs.set(self.active_count() as u64);
+        tele.flush_total.record(tele.now().saturating_sub(start));
+        drop(span);
+        self.tele = Some(tele);
         BatchReport::from_drains(batch, &drains)
     }
 
@@ -393,8 +515,14 @@ impl Engine {
         assert!(batch_size >= 1);
         let (mut ok, mut failed) = (0usize, 0usize);
         for chunk in seq.requests().chunks(batch_size) {
+            let route_start = self.tele.as_ref().map(|t| t.now());
             for &r in chunk {
                 self.submit(r);
+            }
+            if let Some(t0) = route_start {
+                let tele = self.tele.as_mut().expect("stamped above");
+                let took = tele.now().saturating_sub(t0);
+                tele.route.record(took);
             }
             let report = self.flush();
             ok += report.processed();
@@ -562,7 +690,15 @@ impl Engine {
             .router
             .retarget(dedicated + 1)?
             .with_pin(whale, dedicated)?;
-        self.reshard(table).map(Some)
+        let report = self.reshard(table)?;
+        if let Some(tele) = &mut self.tele {
+            tele.rebalance_pins_total.inc();
+            // A whale pin is worth surfacing: it reshapes routing for
+            // everyone else.
+            tele.t
+                .point(Severity::Warn, "rebalance_pin", whale, dedicated as u64);
+        }
+        Ok(Some(report))
     }
 
     /// Active-set share above which [`Engine::rebalance`] isolates a
@@ -643,6 +779,21 @@ impl Engine {
         }
         if let Some(journal) = &mut self.journal {
             journal.append_epoch(EpochRecord::of(&self.router));
+        }
+        // Fresh shards start uninstrumented: re-install drain handles
+        // and publish the resize before returning.
+        self.apply_shard_tele();
+        if let Some(tele) = &mut self.tele {
+            tele.resizes_total.inc();
+            tele.epoch.set(report.epoch);
+            tele.shards.set(report.to_shards as u64);
+            tele.active_jobs.set(report.jobs as u64);
+            tele.t.point(
+                Severity::Info,
+                "epoch",
+                report.epoch,
+                report.to_shards as u64,
+            );
         }
         Ok(report)
     }
@@ -779,6 +930,7 @@ impl Engine {
         if self.journal.is_none() {
             return false;
         }
+        let t0 = self.tele.as_ref().map(|t| t.now());
         if self.queued() > 0 {
             self.flush();
         }
@@ -788,6 +940,12 @@ impl Engine {
             .as_mut()
             .expect("checked above")
             .checkpoint(snapshot, batches);
+        if let Some(tele) = &mut self.tele {
+            let took = tele.now().saturating_sub(t0.expect("stamped above"));
+            tele.checkpoints_total.inc();
+            tele.checkpoint_nanos.record(took);
+            tele.t.point(Severity::Info, "checkpoint", batches, took);
+        }
         true
     }
 
@@ -1182,6 +1340,7 @@ impl Restorable for Engine {
             pool_forced: false,
             journal,
             batches,
+            tele: None,
         })
     }
 }
@@ -1279,10 +1438,11 @@ mod tests {
         let par = build(true);
         assert_eq!(seq.placements(), par.placements());
         assert_eq!(seq.total_costs(), par.total_costs());
-        assert_eq!(
-            seq.journal().unwrap().events(),
-            par.journal().unwrap().events()
-        );
+        assert!(seq
+            .journal()
+            .unwrap()
+            .iter_events()
+            .eq(par.journal().unwrap().iter_events()));
     }
 
     #[test]

@@ -13,10 +13,12 @@
 use crate::backend::{Backend, BackendKind};
 use crate::journal::{Costs, ErrCode, ReqResult};
 use crate::metrics::CostHistogram;
+use crate::tele::{ShardTele, SERVICE_SAMPLE_EVERY};
 use fxhash::FxHashMap;
 use realloc_core::snapshot::{Fields, SnapshotNode, SnapshotWriter};
 use realloc_core::textio::ParseError;
 use realloc_core::{JobId, Reallocator as _, Request, Window};
+use realloc_telemetry::Histogram;
 use std::collections::VecDeque;
 
 /// One independent scheduling shard.
@@ -34,6 +36,13 @@ pub struct Shard {
     reallocations: u64,
     migrations: u64,
     failed: u64,
+    /// Drain-path instrument handles, present iff the owning engine has
+    /// telemetry attached. Runtime-only: never serialized (latency state
+    /// must not perturb replication digests).
+    tele: Option<ShardTele>,
+    /// Requests serviced since telemetry attach — the 1-in-N sampling
+    /// phase for service-latency timing.
+    service_tick: u64,
 }
 
 /// Everything one shard did during a single flush, in execution order.
@@ -86,7 +95,16 @@ impl Shard {
             reallocations: 0,
             migrations: 0,
             failed: 0,
+            tele: None,
+            service_tick: 0,
         }
+    }
+
+    /// Installs (or clears) the drain-path instruments. Called by the
+    /// engine on telemetry attach and again after every reshard (fresh
+    /// shards start uninstrumented).
+    pub(crate) fn set_telemetry(&mut self, tele: Option<ShardTele>) {
+        self.tele = tele;
     }
 
     /// Shard index within the engine.
@@ -194,30 +212,79 @@ impl Shard {
     /// (the caller sees each failure in the returned records and in
     /// [`Shard::failed_count`]).
     pub fn drain(&mut self) -> ShardDrain {
+        // Take the instrument bundle out so the instrumented loop can
+        // borrow `self` mutably; the uninstrumented path stays a single
+        // Option check.
+        match self.tele.take() {
+            Some(tele) => {
+                let out = self.drain_instrumented(&tele);
+                self.tele = Some(tele);
+                out
+            }
+            None => {
+                let mut out = ShardDrain::default();
+                while let Some(req) = self.queue.pop_front() {
+                    let result = self.service_one(req);
+                    out.records.push((req, result));
+                }
+                out
+            }
+        }
+    }
+
+    /// The instrumented drain loop: times the whole drain (one
+    /// `engine_shard_drain_nanos` sample, recorded on whichever worker
+    /// thread drains this shard), and one request in
+    /// [`SERVICE_SAMPLE_EVERY`] into a **local** histogram merged into
+    /// the shared `engine_service_sampled_nanos` once at the end — the
+    /// shared-instrument lock is touched twice per drain, never per
+    /// request.
+    fn drain_instrumented(&mut self, tele: &ShardTele) -> ShardDrain {
+        let start = tele.t.now_nanos();
+        let mut sampled = Histogram::new();
         let mut out = ShardDrain::default();
         while let Some(req) = self.queue.pop_front() {
-            let result = match self.backend.request(req) {
-                Ok(outcome) => {
-                    self.apply_bookkeeping(req);
-                    let netted = outcome.netted();
-                    let costs = Costs {
-                        reallocations: netted.reallocation_cost(),
-                        migrations: netted.migration_cost(),
-                    };
-                    self.requests += 1;
-                    self.reallocations += costs.reallocations;
-                    self.migrations += costs.migrations;
-                    self.hist.record(costs.reallocations);
-                    Ok(costs)
-                }
-                Err(e) => {
-                    self.failed += 1;
-                    Err(ErrCode::of(&e))
-                }
+            self.service_tick += 1;
+            let result = if self.service_tick.is_multiple_of(SERVICE_SAMPLE_EVERY) {
+                let t0 = tele.t.now_nanos();
+                let result = self.service_one(req);
+                sampled.record(tele.t.now_nanos().saturating_sub(t0));
+                result
+            } else {
+                self.service_one(req)
             };
             out.records.push((req, result));
         }
+        tele.drain_nanos
+            .record(tele.t.now_nanos().saturating_sub(start));
+        if !sampled.is_empty() {
+            tele.service_nanos.merge(&sampled);
+        }
         out
+    }
+
+    /// Services one request against the backend, with all shard
+    /// bookkeeping. Failures are recorded, never fatal.
+    fn service_one(&mut self, req: Request) -> ReqResult {
+        match self.backend.request(req) {
+            Ok(outcome) => {
+                self.apply_bookkeeping(req);
+                let netted = outcome.netted();
+                let costs = Costs {
+                    reallocations: netted.reallocation_cost(),
+                    migrations: netted.migration_cost(),
+                };
+                self.requests += 1;
+                self.reallocations += costs.reallocations;
+                self.migrations += costs.migrations;
+                self.hist.record(costs.reallocations);
+                Ok(costs)
+            }
+            Err(e) => {
+                self.failed += 1;
+                Err(ErrCode::of(&e))
+            }
+        }
     }
 
     fn apply_bookkeeping(&mut self, req: Request) {
@@ -421,6 +488,8 @@ impl Shard {
             reallocations,
             migrations,
             failed,
+            tele: None,
+            service_tick: 0,
         })
     }
 }

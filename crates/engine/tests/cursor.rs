@@ -64,7 +64,12 @@ fn records_since_interleaves_events_and_epochs_in_order() {
         .collect();
     let via_iter: Vec<_> = journal.iter_events().copied().collect();
     assert_eq!(via_cursor, via_iter);
-    assert_eq!(via_iter, journal.events());
+    // The deprecated allocating accessor must stay equivalent for as
+    // long as it exists; this is its one remaining caller.
+    #[allow(deprecated)]
+    {
+        assert_eq!(via_iter, journal.events());
+    }
 }
 
 #[test]

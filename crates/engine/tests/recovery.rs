@@ -85,8 +85,8 @@ proptest! {
             // uninterrupted engine's journal ends with the same events —
             // batch numbers included, since the snapshot restores the
             // flush counter.
-            let a_events = a.journal().unwrap().events();
-            let b_events = b.journal().unwrap().events();
+            let a_events: Vec<_> = a.journal().unwrap().iter_events().copied().collect();
+            let b_events: Vec<_> = b.journal().unwrap().iter_events().copied().collect();
             prop_assert_eq!(
                 &a_events[recorded_prefix..],
                 &b_events[..],
@@ -166,7 +166,7 @@ fn checkpoints_bound_journal_memory() {
     // The truncated journal still round-trips and recovers exactly.
     let text = journal.to_text();
     let parsed = Journal::from_text(&text).unwrap();
-    assert_eq!(parsed.events(), journal.events());
+    assert!(parsed.iter_events().eq(journal.iter_events()));
     assert_eq!(parsed.dropped_segments(), journal.dropped_segments());
     assert_eq!(parsed.dropped_events(), journal.dropped_events());
     let recovered = Engine::recover(text.as_bytes()).unwrap();
@@ -336,8 +336,8 @@ fn multi_machine_shards_round_trip_with_migrations() {
         ingest(&mut a, suffix, 64);
         ingest(&mut b, suffix, 64);
 
-        let a_events = a.journal().unwrap().events();
-        let b_events = b.journal().unwrap().events();
+        let a_events: Vec<_> = a.journal().unwrap().iter_events().copied().collect();
+        let b_events: Vec<_> = b.journal().unwrap().iter_events().copied().collect();
         assert_eq!(
             &a_events[recorded_prefix..],
             &b_events[..],

@@ -1,0 +1,618 @@
+//! # realloc-telemetry
+//!
+//! Unified observability for the realloc serving stack: a **metrics
+//! registry** (counters, gauges, log-bucketed latency histograms), a
+//! fixed-capacity **trace ring buffer** for hot-path spans and lifecycle
+//! events, a Prometheus-style **text exposition** and a tiny TCP
+//! **[`ObsServer`]** so every node of a replicated cluster can be polled
+//! live. Std-only, like the rest of the workspace.
+//!
+//! # Design
+//!
+//! A [`Telemetry`] handle is either *enabled* (it owns a shared
+//! registry, trace buffer and [`Clock`]) or *[`disabled()`]* (every
+//! operation is a no-op on a `None`). Components take a `&Telemetry` once at attach
+//! time, look up their named instruments, and keep the returned
+//! [`Counter`]/[`Gauge`]/[`Histo`] handles — the name→instrument map is
+//! only locked at registration, never on the hot path. Counters and
+//! gauges are plain `AtomicU64`s. Histograms sit behind a mutex, but the
+//! intended pattern (and the one the engine uses) is *per-shard local
+//! accumulation*: record into a private [`Histogram`] and
+//! [`Histo::merge`] it into the shared one once per flush, so the lock
+//! is taken O(shards) times per flush rather than per sample.
+//!
+//! # Naming scheme
+//!
+//! `<layer>_<what>[_<unit>]`, with `_total` for counters and `_nanos`
+//! for durations: `engine_requests_total`, `engine_flush_barrier_nanos`,
+//! `cluster_replica_last_seq`. A label set may be embedded in the name
+//! via [`labeled`] (e.g. `cluster_link_acked_seq{replica="…"}`); the
+//! renderer understands it and splices `quantile` labels in correctly.
+//!
+//! # Persistence
+//!
+//! Registry contents serialize to the workspace snapshot text format
+//! ([`Telemetry::snapshot_text`] / [`Telemetry::restore_registry`]), so
+//! lifetime telemetry survives checkpoint → restore alongside engine
+//! state. Deliberately, the registry is **not** part of any engine's
+//! digested state: replication digests must depend only on the replayed
+//! event stream, never on wall-clock measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod obs;
+pub mod render;
+pub mod trace;
+
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use obs::{fetch_metrics, fetch_trace, ObsClient, ObsServer};
+pub use realloc_core::clock::Clock;
+pub use render::parse_sample;
+pub use trace::{Severity, TraceBuffer, TraceEvent, TraceKind};
+
+use realloc_core::snapshot::{Fields, SnapshotNode, SnapshotWriter};
+use realloc_core::textio::ParseError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default retained-event capacity of the trace ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct Shared {
+    clock: Clock,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+    trace: TraceBuffer,
+}
+
+/// The no-op telemetry handle: every instrument it hands out does
+/// nothing, every query returns nothing. Attaching this to an engine is
+/// free — the hot paths test one `Option` and move on.
+pub fn disabled() -> Telemetry {
+    Telemetry { inner: None }
+}
+
+/// A cheaply cloneable handle on one node's observability state; see the
+/// crate docs. `Default` is [`disabled()`].
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Shared>>,
+}
+
+fn assert_name(name: &str) {
+    debug_assert!(
+        !name.is_empty() && !name.contains(char::is_whitespace) && !name.contains('#'),
+        "metric name {name:?} must be non-empty with no whitespace or '#'"
+    );
+}
+
+/// Builds `base{key="value"}` — a metric name with one embedded label.
+/// The value must not contain whitespace, `"` or `#` (socket addresses,
+/// shard indices and tenant ids are all fine).
+pub fn labeled(base: &str, key: &str, value: impl std::fmt::Display) -> String {
+    let name = format!("{base}{{{key}=\"{value}\"}}");
+    assert_name(&name);
+    name
+}
+
+impl Telemetry {
+    /// Enabled telemetry on the production (monotonic) clock with the
+    /// default trace capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::with_clock(Clock::monotonic(), DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Enabled telemetry on an explicit clock (pass [`Clock::manual`]
+    /// for deterministic tests) and trace ring capacity.
+    pub fn with_clock(clock: Clock, trace_capacity: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Shared {
+                clock,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                trace: TraceBuffer::new(trace_capacity),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared clock (`None` when disabled).
+    pub fn clock(&self) -> Option<Clock> {
+        self.inner.as_ref().map(|s| s.clock.clone())
+    }
+
+    /// Current clock nanos; 0 when disabled.
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.clock.now_nanos())
+    }
+
+    /// The named counter, created at zero on first use.
+    pub fn counter(&self, name: impl Into<String>) -> Counter {
+        let name = name.into();
+        assert_name(&name);
+        Counter(self.inner.as_ref().map(|s| {
+            let mut map = s.counters.lock().expect("counter map poisoned");
+            Arc::clone(map.entry(name).or_default())
+        }))
+    }
+
+    /// The named gauge, created at zero on first use.
+    pub fn gauge(&self, name: impl Into<String>) -> Gauge {
+        let name = name.into();
+        assert_name(&name);
+        Gauge(self.inner.as_ref().map(|s| {
+            let mut map = s.gauges.lock().expect("gauge map poisoned");
+            Arc::clone(map.entry(name).or_default())
+        }))
+    }
+
+    /// The named histogram, created empty on first use.
+    pub fn histogram(&self, name: impl Into<String>) -> Histo {
+        let name = name.into();
+        assert_name(&name);
+        Histo(self.inner.as_ref().map(|s| {
+            let mut map = s.hists.lock().expect("hist map poisoned");
+            Arc::clone(map.entry(name).or_default())
+        }))
+    }
+
+    /// Current value of a counter that has been registered, else `None`.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let s = self.inner.as_ref()?;
+        let map = s.counters.lock().expect("counter map poisoned");
+        map.get(name).map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a registered gauge, else `None`.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        let s = self.inner.as_ref()?;
+        let map = s.gauges.lock().expect("gauge map poisoned");
+        map.get(name).map(|g| g.load(Ordering::Relaxed))
+    }
+
+    /// A copy of a registered histogram, else `None`.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<Histogram> {
+        let s = self.inner.as_ref()?;
+        let map = s.hists.lock().expect("hist map poisoned");
+        let h = Arc::clone(map.get(name)?);
+        drop(map);
+        let snap = h.lock().expect("histogram poisoned").clone();
+        Some(snap)
+    }
+
+    /// Estimated `q`-quantile of a registered histogram.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<u64> {
+        self.histogram_snapshot(name).map(|h| h.quantile(q))
+    }
+
+    /// Records an instantaneous trace event.
+    pub fn point(&self, severity: Severity, key: &'static str, a: u64, b: u64) {
+        if let Some(s) = &self.inner {
+            s.trace.record(TraceEvent {
+                at: s.clock.now_nanos(),
+                severity,
+                kind: TraceKind::Point,
+                key,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Opens a trace span: records a `Begin` event now and an `End`
+    /// event (with elapsed nanos in `b`) when the returned guard drops.
+    pub fn span(&self, key: &'static str, a: u64) -> Span {
+        let start = match &self.inner {
+            Some(s) => {
+                let at = s.clock.now_nanos();
+                s.trace.record(TraceEvent {
+                    at,
+                    severity: Severity::Debug,
+                    kind: TraceKind::Begin,
+                    key,
+                    a,
+                    b: 0,
+                });
+                at
+            }
+            None => 0,
+        };
+        Span {
+            shared: self.inner.clone(),
+            key,
+            a,
+            start,
+        }
+    }
+
+    /// The retained trace events, oldest first (empty when disabled).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.trace.events())
+    }
+
+    /// Sorted copies of the whole registry:
+    /// `(counters, gauges, histograms)`.
+    #[allow(clippy::type_complexity)]
+    pub fn registry_contents(
+        &self,
+    ) -> (
+        Vec<(String, u64)>,
+        Vec<(String, u64)>,
+        Vec<(String, Histogram)>,
+    ) {
+        let Some(s) = &self.inner else {
+            return (Vec::new(), Vec::new(), Vec::new());
+        };
+        let counters = s
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = s
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        let hists = s
+            .hists
+            .lock()
+            .expect("hist map poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.lock().expect("histogram poisoned").clone()))
+            .collect();
+        (counters, gauges, hists)
+    }
+
+    /// Renders the registry in Prometheus text format (the `metrics`
+    /// command of [`ObsServer`]); empty when disabled.
+    pub fn render_text(&self) -> String {
+        let (counters, gauges, hists) = self.registry_contents();
+        render::render_registry(&counters, &gauges, &hists)
+    }
+
+    /// Renders the trace ring as text, one event per line, oldest first
+    /// (the `trace` command of [`ObsServer`]).
+    pub fn render_trace(&self) -> String {
+        let events = self.trace_events();
+        let mut out = format!(
+            "# trace: {} event(s), oldest first: at severity kind key a b\n",
+            events.len()
+        );
+        for e in &events {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {} {}",
+                e.at,
+                e.severity.as_str(),
+                e.kind.as_str(),
+                e.key,
+                e.a,
+                e.b
+            );
+        }
+        out
+    }
+
+    /// Serializes the registry (not the trace ring) to the workspace
+    /// snapshot text format. Deterministic: maps iterate sorted.
+    pub fn snapshot_text(&self) -> String {
+        let (counters, gauges, hists) = self.registry_contents();
+        let mut w = SnapshotWriter::new();
+        w.begin("telemetry");
+        for (name, value) in &counters {
+            w.line(format_args!("c {name} {value}"));
+        }
+        for (name, value) in &gauges {
+            w.line(format_args!("g {name} {value}"));
+        }
+        for (name, h) in &hists {
+            w.begin_args("hist", format_args!("{name}"));
+            let (count, sum, max) = h.parts();
+            w.line(format_args!("h {count} {sum} {max}"));
+            for (i, n) in h.nonzero_buckets() {
+                w.line(format_args!("b {i} {n}"));
+            }
+            w.end();
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Loads a [`Telemetry::snapshot_text`] document into this registry,
+    /// overwriting same-named instruments (others are left alone). A
+    /// no-op on a disabled handle. Validates untrusted input — bad
+    /// bucket tables or malformed lines are [`ParseError`]s, not panics.
+    pub fn restore_registry(&self, text: &str) -> Result<(), ParseError> {
+        let root = SnapshotNode::parse(text)?;
+        let node = root.only_child("telemetry")?;
+        if self.inner.is_none() {
+            return Ok(());
+        }
+        for (line, content) in &node.lines {
+            let mut f = Fields::of(*line, content);
+            let op = f.token("op")?;
+            match op {
+                "c" => {
+                    let name = f.token("counter name")?.to_string();
+                    let value = f.u64("counter value")?;
+                    f.finish()?;
+                    self.counter(name)
+                        .0
+                        .expect("enabled")
+                        .store(value, Ordering::Relaxed);
+                }
+                "g" => {
+                    let name = f.token("gauge name")?.to_string();
+                    let value = f.u64("gauge value")?;
+                    f.finish()?;
+                    self.gauge(name)
+                        .0
+                        .expect("enabled")
+                        .store(value, Ordering::Relaxed);
+                }
+                other => return Err(f.err(format!("unknown telemetry op '{other}'"))),
+            }
+        }
+        for child in node.children_of("hist") {
+            let name = child.args.first().ok_or(ParseError {
+                line: 0,
+                message: "hist section without a name".to_string(),
+            })?;
+            let mut header: Option<(u64, u64, u64)> = None;
+            let mut nonzero: Vec<(usize, u64)> = Vec::new();
+            for (line, content) in &child.lines {
+                let mut f = Fields::of(*line, content);
+                match f.token("op")? {
+                    "h" => {
+                        if header.is_some() {
+                            return Err(f.err("duplicate 'h' header"));
+                        }
+                        let count = f.u64("count")?;
+                        let sum = f.u64("sum")?;
+                        let max = f.u64("max")?;
+                        f.finish()?;
+                        header = Some((count, sum, max));
+                    }
+                    "b" => {
+                        let i = f.usize("bucket index")?;
+                        let n = f.u64("bucket count")?;
+                        f.finish()?;
+                        nonzero.push((i, n));
+                    }
+                    other => return Err(f.err(format!("unknown hist op '{other}'"))),
+                }
+            }
+            let (count, sum, max) = header.ok_or(ParseError {
+                line: 0,
+                message: format!("hist '{name}' missing its 'h' header"),
+            })?;
+            let h =
+                Histogram::from_parts(count, sum, max, &nonzero).map_err(|message| ParseError {
+                    line: 0,
+                    message: format!("hist '{name}': {message}"),
+                })?;
+            self.histogram(name.clone()).set(h);
+        }
+        Ok(())
+    }
+}
+
+/// A monotonically increasing `u64` instrument. Lock-free; no-op when
+/// its [`Telemetry`] is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins `u64` instrument. Lock-free; no-op when disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// A shared handle on a registered [`Histogram`]. Recording takes a
+/// mutex — prefer a local `Histogram` plus one [`Histo::merge`] per
+/// flush on hot paths (see the crate docs).
+#[derive(Clone, Debug, Default)]
+pub struct Histo(Option<Arc<Mutex<Histogram>>>);
+
+impl Histo {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.lock().expect("histogram poisoned").record(v);
+        }
+    }
+
+    /// Folds a locally accumulated histogram in (one lock per call).
+    pub fn merge(&self, local: &Histogram) {
+        if local.is_empty() {
+            return;
+        }
+        if let Some(h) = &self.0 {
+            h.lock().expect("histogram poisoned").merge(local);
+        }
+    }
+
+    /// Replaces the contents (used by registry restore).
+    fn set(&self, new: Histogram) {
+        if let Some(h) = &self.0 {
+            *h.lock().expect("histogram poisoned") = new;
+        }
+    }
+
+    /// A copy of the current contents (empty when disabled).
+    pub fn snapshot(&self) -> Histogram {
+        self.0.as_ref().map_or_else(Histogram::new, |h| {
+            h.lock().expect("histogram poisoned").clone()
+        })
+    }
+
+    /// Whether this handle actually records (its telemetry is enabled).
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Guard returned by [`Telemetry::span`]; records the `End` event (with
+/// elapsed nanos) when dropped.
+#[derive(Debug)]
+pub struct Span {
+    shared: Option<Arc<Shared>>,
+    key: &'static str,
+    a: u64,
+    start: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = &self.shared {
+            let at = s.clock.now_nanos();
+            s.trace.record(TraceEvent {
+                at,
+                severity: Severity::Debug,
+                kind: TraceKind::End,
+                key: self.key,
+                a: self.a,
+                b: at.saturating_sub(self.start),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let t = disabled();
+        assert!(!t.is_enabled());
+        let c = t.counter("x_total");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        t.gauge("g").set(7);
+        t.histogram("h_nanos").record(9);
+        t.point(Severity::Info, "ev", 1, 2);
+        drop(t.span("s", 0));
+        assert!(t.trace_events().is_empty());
+        assert_eq!(t.render_text(), "");
+        assert_eq!(t.counter_value("x_total"), None);
+    }
+
+    #[test]
+    fn instruments_share_state_by_name() {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        let a = t.counter("reqs_total");
+        let b = t.counter("reqs_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(t.counter_value("reqs_total"), Some(4));
+
+        t.gauge("jobs").set(11);
+        assert_eq!(t.gauge_value("jobs"), Some(11));
+
+        let h = t.histogram("lat_nanos");
+        let mut local = Histogram::new();
+        local.record(100);
+        local.record(200);
+        h.merge(&local);
+        h.record(300);
+        assert_eq!(t.histogram_snapshot("lat_nanos").unwrap().count(), 3);
+        assert_eq!(t.quantile("lat_nanos", 1.0), Some(300));
+    }
+
+    #[test]
+    fn spans_use_the_shared_clock() {
+        let clock = Clock::manual();
+        let t = Telemetry::with_clock(clock.clone(), 16);
+        {
+            let _s = t.span("flush", 42);
+            clock.advance(1_000);
+        }
+        let evs = t.trace_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, TraceKind::Begin);
+        assert_eq!(evs[1].kind, TraceKind::End);
+        assert_eq!(evs[1].b, 1_000, "elapsed nanos in b");
+        assert_eq!(evs[1].a, 42);
+        let text = t.render_trace();
+        assert!(text.contains("debug end flush 42 1000"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_restore_is_byte_identical() {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        t.counter("a_total").add(9);
+        t.counter(labeled("b_total", "shard", 3)).add(2);
+        t.gauge("g").set(1 << 40);
+        let h = t.histogram("lat_nanos");
+        for v in [0u64, 1, 1, 7, 500, u64::MAX] {
+            h.record(v);
+        }
+        let text = t.snapshot_text();
+
+        let back = Telemetry::with_clock(Clock::manual(), 16);
+        back.restore_registry(&text).unwrap();
+        assert_eq!(back.snapshot_text(), text);
+        assert_eq!(back.render_text(), t.render_text());
+    }
+
+    #[test]
+    fn restore_rejects_corruption() {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        assert!(t.restore_registry("not a snapshot").is_err());
+        let doc = "# realloc snapshot v1\n!begin telemetry\nz what 1\n!end\n";
+        assert!(t.restore_registry(doc).is_err());
+        // Histogram whose bucket table disagrees with its header.
+        let doc =
+            "# realloc snapshot v1\n!begin telemetry\n!begin hist h\nh 5 0 0\nb 0 1\n!end\n!end\n";
+        assert!(t.restore_registry(doc).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! The observability endpoint: a tiny request/response server over the
+//! workspace's length-prefixed TCP framing, so any process (or any node
+//! of a replicated cluster) can be polled for live metrics.
+//!
+//! # Wire protocol
+//!
+//! Both directions carry [`realloc_core::textio::write_frame`] frames (a
+//! `u32` big-endian byte count, then the payload). The client sends one
+//! command per frame — `metrics` or `trace` — and the server answers
+//! with one frame holding the rendered text ([`Telemetry::render_text`]
+//! / [`Telemetry::render_trace`]); unknown commands get an `err …` line.
+//! A connection serves any number of commands (poll on a schedule), and
+//! the one-shot [`fetch_metrics`]/[`fetch_trace`] helpers connect, ask
+//! once, and disconnect.
+//!
+//! # Threading
+//!
+//! [`ObsServer::bind`] mirrors the cluster's `ReplicaServer`: one accept
+//! loop thread, one detached handler thread per connection, shutdown by
+//! flag + self-connect poke (also on `Drop`). Handlers only read the
+//! registry, so polling never blocks the serving path beyond the
+//! per-instrument locks.
+
+use crate::Telemetry;
+use realloc_core::textio::{read_frame, write_frame};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Cap on one command frame (a short verb).
+const MAX_COMMAND_BYTES: u32 = 4096;
+
+/// Cap on one response frame (a rendered dump).
+const MAX_RESPONSE_BYTES: u32 = 16 << 20;
+
+/// Serves one [`Telemetry`]'s registry and trace ring over TCP.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves `telemetry` on a background accept loop.
+    pub fn bind(addr: impl ToSocketAddrs, telemetry: Telemetry) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("obs-accept-{addr}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let tel = telemetry.clone();
+                    // Detached: handlers exit when their peer disconnects.
+                    let _ = std::thread::Builder::new()
+                        .name("obs-conn".to_string())
+                        .spawn(move || serve_connection(stream, tel));
+                }
+            })?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (poll it with [`ObsClient`] or the fetchers).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection: read command → render → respond, until disconnect.
+fn serve_connection(stream: TcpStream, telemetry: Telemetry) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        let payload = match read_frame(&mut reader, MAX_COMMAND_BYTES) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // peer gone
+        };
+        let response = match std::str::from_utf8(&payload).map(str::trim) {
+            Ok("metrics") => telemetry.render_text(),
+            Ok("trace") => telemetry.render_trace(),
+            Ok(other) => format!("err unknown command '{other}' (expected 'metrics' or 'trace')"),
+            Err(e) => format!("err command is not UTF-8: {e}"),
+        };
+        if write_frame(&mut writer, response.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// A persistent poller connection to one [`ObsServer`].
+#[derive(Debug)]
+pub struct ObsClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ObsClient {
+    /// Connects to an [`ObsServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ObsClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let write_half = stream.try_clone()?;
+        Ok(ObsClient {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one command and returns the response text.
+    pub fn fetch(&mut self, command: &str) -> std::io::Result<String> {
+        write_frame(&mut self.writer, command.as_bytes())?;
+        self.writer.flush()?;
+        let Some(payload) = read_frame(&mut self.reader, MAX_RESPONSE_BYTES)? else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            ));
+        };
+        String::from_utf8(payload).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response is not UTF-8: {e}"),
+            )
+        })
+    }
+
+    /// The registry in Prometheus text format.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.fetch("metrics")
+    }
+
+    /// The trace ring as text, oldest first.
+    pub fn trace(&mut self) -> std::io::Result<String> {
+        self.fetch("trace")
+    }
+}
+
+/// One-shot: connect, fetch the metrics dump, disconnect.
+pub fn fetch_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    ObsClient::connect(addr)?.metrics()
+}
+
+/// One-shot: connect, fetch the trace dump, disconnect.
+pub fn fetch_trace(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    ObsClient::connect(addr)?.trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_sample, Clock, Severity};
+
+    #[test]
+    fn serves_metrics_and_trace_over_tcp() {
+        let tel = Telemetry::with_clock(Clock::manual(), 16);
+        tel.counter("obs_reqs_total").add(21);
+        tel.gauge("obs_jobs").set(4);
+        tel.histogram("obs_lat_nanos").record(1_000);
+        tel.point(Severity::Info, "boot", 1, 2);
+
+        let server = ObsServer::bind("127.0.0.1:0", tel.clone()).unwrap();
+        let mut client = ObsClient::connect(server.addr()).unwrap();
+
+        let text = client.metrics().unwrap();
+        assert_eq!(parse_sample(&text, "obs_reqs_total"), Some(21));
+        assert_eq!(parse_sample(&text, "obs_jobs"), Some(4));
+        assert_eq!(parse_sample(&text, "obs_lat_nanos_count"), Some(1));
+
+        // Live: a second poll on the same connection sees new values.
+        tel.counter("obs_reqs_total").add(1);
+        let text = client.metrics().unwrap();
+        assert_eq!(parse_sample(&text, "obs_reqs_total"), Some(22));
+
+        let trace = client.trace().unwrap();
+        assert!(trace.contains("info point boot 1 2"), "{trace}");
+
+        let err = client.fetch("bogus").unwrap();
+        assert!(err.starts_with("err unknown command"), "{err}");
+
+        // One-shot helpers work too.
+        let text = fetch_metrics(server.addr()).unwrap();
+        assert_eq!(parse_sample(&text, "obs_reqs_total"), Some(22));
+    }
+}

@@ -1,0 +1,132 @@
+//! Prometheus-style text exposition for the registry, plus the tiny
+//! sample parser observers use to read values back out of a dump.
+//!
+//! Counters and gauges render as `name value` lines under a `# TYPE`
+//! comment. Histograms render as summaries: `name{quantile="0.5"}`,
+//! `{quantile="0.95"}`, `{quantile="0.99"}` plus `_sum`, `_count` and
+//! `_max` companions. Metric names may carry a label set inline (e.g.
+//! `cluster_link_acked_seq{replica="127.0.0.1:9001"}`); the renderer
+//! splices extra labels (like `quantile`) into an existing set and moves
+//! suffixes (`_sum`) onto the base name, so output is always legal
+//! Prometheus text format.
+
+use crate::hist::Histogram;
+use std::fmt::Write as _;
+
+/// Splits `name` into its base and its (brace-enclosed) label set.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// `name` with one more `key="value"` label spliced in.
+pub(crate) fn with_label(name: &str, key: &str, value: &str) -> String {
+    let (base, labels) = split_labels(name);
+    if labels.is_empty() {
+        format!("{base}{{{key}=\"{value}\"}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{base}{{{inner},{key}=\"{value}\"}}")
+    }
+}
+
+/// `name` with `suffix` appended to the base, labels preserved.
+fn with_suffix(name: &str, suffix: &str) -> String {
+    let (base, labels) = split_labels(name);
+    format!("{base}{suffix}{labels}")
+}
+
+fn type_line(out: &mut String, last_base: &mut String, name: &str, kind: &str) {
+    let (base, _) = split_labels(name);
+    if base != last_base {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        *last_base = base.to_string();
+    }
+}
+
+/// Renders the full registry contents (already sorted by name) as
+/// Prometheus text format.
+pub(crate) fn render_registry(
+    counters: &[(String, u64)],
+    gauges: &[(String, u64)],
+    hists: &[(String, Histogram)],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut last_base = String::new();
+    for (name, value) in counters {
+        type_line(&mut out, &mut last_base, name, "counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in gauges {
+        type_line(&mut out, &mut last_base, name, "gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in hists {
+        type_line(&mut out, &mut last_base, name, "summary");
+        let (p50, p95, p99) = h.percentiles();
+        for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+            let _ = writeln!(out, "{} {v}", with_label(name, "quantile", q));
+        }
+        let _ = writeln!(out, "{} {}", with_suffix(name, "_sum"), h.sum());
+        let _ = writeln!(out, "{} {}", with_suffix(name, "_count"), h.count());
+        let _ = writeln!(out, "{} {}", with_suffix(name, "_max"), h.max());
+    }
+    out
+}
+
+/// Reads one sample back out of a rendered dump: the value on the line
+/// whose metric name (labels included) is exactly `name`. This is how
+/// pollers consume [`crate::Telemetry::render_text`] output — e.g.
+/// `parse_sample(&text, "cluster_next_seq")` or
+/// `parse_sample(&text, r#"engine_flush_total_nanos{quantile="0.95"}"#)`.
+pub fn parse_sample(text: &str, name: &str) -> Option<u64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((n, v)) = line.rsplit_once(' ') {
+            if n == name {
+                return v.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_splicing() {
+        assert_eq!(with_label("x", "q", "0.5"), "x{q=\"0.5\"}");
+        assert_eq!(with_label("x{a=\"1\"}", "q", "0.5"), "x{a=\"1\",q=\"0.5\"}");
+        assert_eq!(with_suffix("x{a=\"1\"}", "_sum"), "x_sum{a=\"1\"}");
+        assert_eq!(with_suffix("x", "_sum"), "x_sum");
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let text = render_registry(
+            &[("reqs_total".into(), 7)],
+            &[("jobs{shard=\"2\"}".into(), 42)],
+            &[("lat_nanos".into(), h)],
+        );
+        assert!(text.contains("# TYPE reqs_total counter"));
+        assert!(text.contains("# TYPE jobs gauge"));
+        assert!(text.contains("# TYPE lat_nanos summary"));
+        assert_eq!(parse_sample(&text, "reqs_total"), Some(7));
+        assert_eq!(parse_sample(&text, "jobs{shard=\"2\"}"), Some(42));
+        assert_eq!(parse_sample(&text, "lat_nanos_count"), Some(4));
+        assert_eq!(parse_sample(&text, "lat_nanos_sum"), Some(100));
+        assert_eq!(parse_sample(&text, "lat_nanos_max"), Some(40));
+        assert!(parse_sample(&text, "lat_nanos{quantile=\"0.5\"}").is_some());
+        assert_eq!(parse_sample(&text, "missing"), None);
+    }
+}

@@ -99,7 +99,7 @@ fn main() {
     assert_eq!(recovered.placements(), engine.placements());
     println!(
         "journal: {} events, {} bytes serialized; replay rebuilt {} placements exactly",
-        engine.journal().unwrap().events().len(),
+        engine.journal().unwrap().iter_events().count(),
         text.len(),
         recovered.placements().len()
     );

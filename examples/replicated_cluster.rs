@@ -14,6 +14,13 @@
 //!    surviving replica, and an uninterrupted reference engine: **no
 //!    acknowledged event was lost**.
 //!
+//! Every node also carries a live telemetry registry exposed over its
+//! own [`ObsServer`] port; the example polls all three **over TCP**
+//! mid-stream — like a scrape loop would — and prints per-replica
+//! replication lag (primary `cluster_next_seq − 1` minus each replica's
+//! `cluster_replica_last_seq`) and the primary's flush-phase latency
+//! quantiles.
+//!
 //! ```sh
 //! cargo run --release --example replicated_cluster
 //! ```
@@ -21,7 +28,35 @@
 use realloc_sched::cluster::tcp::{PrimaryLink, ReplicaServer};
 use realloc_sched::cluster::transport::{FrameSink, TransportError};
 use realloc_sched::workloads::{ChurnConfig, ChurnGenerator};
-use realloc_sched::{BackendKind, Engine, EngineConfig, Primary, Replica};
+use realloc_sched::{
+    fetch_metrics, parse_sample, BackendKind, Engine, EngineConfig, ObsServer, Primary, Replica,
+    Telemetry,
+};
+use std::net::SocketAddr;
+
+/// Scrapes all three nodes over TCP and prints the poller's view:
+/// per-replica lag from the two registries, plus the primary's
+/// flush-phase latency quantiles. Returns the lags for assertions.
+fn scrape(label: &str, primary_obs: SocketAddr, replica_obs: [SocketAddr; 2]) -> Vec<u64> {
+    let p = fetch_metrics(primary_obs).expect("primary metrics endpoint");
+    let shipped = parse_sample(&p, "cluster_next_seq").unwrap_or(1) - 1;
+    let mut lags = Vec::new();
+    for addr in replica_obs {
+        let r = fetch_metrics(addr).expect("replica metrics endpoint");
+        let applied = parse_sample(&r, "cluster_replica_last_seq").unwrap_or(0);
+        lags.push(shipped - applied);
+    }
+    let q = |name: &str| parse_sample(&p, name).unwrap_or(0);
+    println!(
+        "[scrape {label}] {} frames shipped; replica lags {:?}; flush p50/p95/p99 = {}/{}/{} ns",
+        shipped,
+        lags,
+        q("engine_flush_total_nanos{quantile=\"0.5\"}"),
+        q("engine_flush_total_nanos{quantile=\"0.95\"}"),
+        q("engine_flush_total_nanos{quantile=\"0.99\"}"),
+    );
+    lags
+}
 
 fn main() {
     let config = EngineConfig {
@@ -50,16 +85,43 @@ fn main() {
     // The uninterrupted reference lineage (same stream, same resize).
     let mut reference = Engine::new(config.clone());
 
-    // Primary + two replicas behind TCP servers on loopback.
+    // Primary + two replicas behind TCP servers on loopback. Every node
+    // gets its own registry and a TCP metrics endpoint.
+    let primary_tel = Telemetry::new();
+    let replica1_tel = Telemetry::new();
+    let replica2_tel = Telemetry::new();
     let mut primary = Primary::new(Engine::new(config), 1).expect("journaled engine");
+    primary.attach_telemetry(&primary_tel);
     let server1 = ReplicaServer::bind("127.0.0.1:0", Replica::new()).unwrap();
     let server2 = ReplicaServer::bind("127.0.0.1:0", Replica::new()).unwrap();
+    server1
+        .replica()
+        .lock()
+        .unwrap()
+        .attach_telemetry(&replica1_tel);
+    server2
+        .replica()
+        .lock()
+        .unwrap()
+        .attach_telemetry(&replica2_tel);
     let mut link1 = PrimaryLink::connect(server1.addr()).unwrap();
     let mut link2 = PrimaryLink::connect(server2.addr()).unwrap();
+    link1.attach_telemetry(&primary_tel);
+    link2.attach_telemetry(&primary_tel);
+    let primary_obs = ObsServer::bind("127.0.0.1:0", primary_tel.clone()).unwrap();
+    let replica1_obs = ObsServer::bind("127.0.0.1:0", replica1_tel.clone()).unwrap();
+    let replica2_obs = ObsServer::bind("127.0.0.1:0", replica2_tel.clone()).unwrap();
+    let obs = [replica1_obs.addr(), replica2_obs.addr()];
     println!(
         "primary (term 1) streaming to replicas at {} and {}",
         server1.addr(),
         server2.addr()
+    );
+    println!(
+        "metrics endpoints: primary {}, replica 1 {}, replica 2 {}",
+        primary_obs.addr(),
+        replica1_obs.addr(),
+        replica2_obs.addr()
     );
 
     let (_, boot) = primary.bootstrap();
@@ -100,6 +162,33 @@ fn main() {
                 link2.send(f).expect("replica 2 acknowledges");
             }
         }
+        if i + 1 == PARTITION_FROM / 2 {
+            // Mid-stream scrape: the synchronous ack protocol means an
+            // un-partitioned replica is never behind at a batch boundary.
+            let lags = scrape("healthy", primary_obs.addr(), obs);
+            assert_eq!(lags, [0, 0], "acked replicas show zero lag");
+        }
+    }
+
+    // The partition is visible from the outside, through the registries
+    // alone: replica 2 stopped acknowledging at the partition point.
+    let lags = scrape("partitioned", primary_obs.addr(), obs);
+    assert_eq!(lags[0], 0, "replica 1 still acknowledges everything");
+    assert!(lags[1] > 0, "partitioned replica 2 must show positive lag");
+    {
+        let p = fetch_metrics(primary_obs.addr()).unwrap();
+        for (i, server) in [&server1, &server2].into_iter().enumerate() {
+            let name = realloc_sched::labeled(
+                "cluster_link_bytes_shipped_total",
+                "replica",
+                server.addr(),
+            );
+            println!(
+                "link to replica {}: {} bytes shipped",
+                i + 1,
+                parse_sample(&p, &name).unwrap_or(0)
+            );
+        }
     }
 
     // Reads scale out: replicas answer queries while the stream runs.
@@ -131,8 +220,12 @@ fn main() {
         promoted.term(),
         promoted.next_seq()
     );
+    // The promoted node keeps its registry: the engine instruments came
+    // over from its replica days, and the streaming side attaches now.
+    promoted.attach_telemetry(&replica1_tel);
     let (_, boot) = promoted.bootstrap();
     let mut new_link2 = PrimaryLink::connect(server2.addr()).unwrap();
+    new_link2.attach_telemetry(&replica1_tel);
     for f in &boot {
         new_link2.send(f).expect("replica 2 re-bootstraps");
     }
@@ -164,6 +257,23 @@ fn main() {
         for f in &frames {
             new_link2.send(f).expect("replica 2 acknowledges");
         }
+    }
+
+    // After failover the new lineage's registry (the promoted node's)
+    // shows replica 2 fully caught up again.
+    {
+        let p = fetch_metrics(replica1_obs.addr()).expect("promoted metrics endpoint");
+        let shipped = parse_sample(&p, "cluster_next_seq").unwrap_or(1) - 1;
+        let r = fetch_metrics(replica2_obs.addr()).expect("replica 2 metrics endpoint");
+        let applied = parse_sample(&r, "cluster_replica_last_seq").unwrap_or(0);
+        println!(
+            "[scrape failed-over] promoted node shipped through seq {shipped}; \
+             replica 2 lag {}",
+            shipped - applied
+        );
+        assert_eq!(shipped, applied, "re-bootstrapped replica 2 caught up");
+        let rejected = parse_sample(&r, "cluster_replica_frames_rejected_total").unwrap_or(0);
+        assert!(rejected >= 1, "the deposed primary's fenced frame counts");
     }
 
     // Phase 5: byte-identical convergence, zero acknowledged events lost.

@@ -42,6 +42,7 @@
 //! | [`multi`] | §3, §5 | machine delegation + alignment wrappers |
 //! | [`baselines`] | §1, §4, §6 | naive / EDF / LLF / offline / sized-EDF |
 //! | [`workloads`] | §6, §7 | churn generators and lower-bound adversaries |
+//! | [`telemetry`] | — | metrics registry, trace ring, TCP exposition |
 //! | [`engine`] | — | sharded, batched, multi-tenant scheduling service |
 //! | [`cluster`] | — | journal-shipping replication: primary/replica, fenced failover |
 //! | [`sim`] | — | harness, stats, experiment binaries |
@@ -90,6 +91,10 @@ pub mod baselines {
 pub mod workloads {
     pub use realloc_workloads::*;
 }
+/// Metrics, tracing, and exposition (re-export of `realloc-telemetry`).
+pub mod telemetry {
+    pub use realloc_telemetry::*;
+}
 /// The sharded, batched scheduling service (re-export of `realloc-engine`).
 pub mod engine {
     pub use realloc_engine::*;
@@ -117,3 +122,7 @@ pub use realloc_engine::{
 };
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
+pub use realloc_telemetry::{
+    fetch_metrics, fetch_trace, labeled, parse_sample, Clock, ObsClient, ObsServer, Severity,
+    Telemetry,
+};
