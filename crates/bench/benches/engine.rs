@@ -13,12 +13,31 @@
 //! `BENCH_OUT_DIR`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use realloc_engine::{BackendKind, Engine, Journal};
+use realloc_engine::{BackendKind, Engine, EngineConfig, Journal};
 use realloc_sim::harness::{churn_seq, engine_config};
+use realloc_store::{DurableStore, MemIo, RecoverFromDir, StoreIo};
 use realloc_telemetry::Telemetry;
+use std::path::Path;
+use std::sync::Arc;
 
 const REQUESTS: usize = 20_000;
 const BATCH: usize = 256;
+
+/// A fresh engine with a [`DurableStore`] over `MemIo` attached. The
+/// in-memory backing isolates the store's own cost (framing, CRC,
+/// group-commit bookkeeping, checkpoint/retention churn) from device
+/// fsync latency, which varies by orders of magnitude across hardware —
+/// the device-bound number is what `examples/crash_recovery.rs` shows
+/// against the real filesystem.
+fn durable_engine(mut cfg: EngineConfig) -> Engine {
+    cfg.journal = true;
+    let mut engine = Engine::new(cfg);
+    let io = Arc::new(MemIo::new()) as Arc<dyn StoreIo>;
+    let store = DurableStore::create(io, Path::new("/bench"), engine.journal().unwrap().config())
+        .expect("create store");
+    engine.attach_durability(Box::new(store)).expect("attach");
+    engine
+}
 
 fn bench_engine_ingest(c: &mut Criterion) {
     let backend = realloc_engine::BackendKind::TheoremOne { gamma: 8 };
@@ -44,6 +63,31 @@ fn bench_engine_ingest(c: &mut Criterion) {
             })
         });
     }
+    // Durability on vs. off at the 4-shard reference point: `journaled`
+    // pays in-memory journaling only; `durable` adds the on-disk store
+    // tee with one group commit per batch.
+    group.bench_with_input(BenchmarkId::new("journaled", 4), &seq, |b, seq| {
+        b.iter(|| {
+            let mut cfg = engine_config(4, 1, backend, false);
+            cfg.journal = true;
+            let mut e = Engine::new(cfg);
+            e.attach_telemetry(&tel);
+            e.ingest(seq, BATCH)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("durable", 4), &seq, |b, seq| {
+        b.iter(|| {
+            let mut e = durable_engine(engine_config(4, 1, backend, false));
+            e.attach_telemetry(&tel);
+            for chunk in seq.requests().chunks(BATCH) {
+                for &r in chunk {
+                    e.submit(r);
+                }
+                e.flush_durable().expect("group commit");
+            }
+            e
+        })
+    });
     group.finish();
 }
 
@@ -103,6 +147,40 @@ fn bench_recovery(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("checkpoint_recover_tail", tail), |b| {
         b.iter(|| Engine::recover(text.as_bytes()).unwrap())
+    });
+
+    // Recover-from-disk: the same workload written through the durable
+    // store (realistic retention, so the directory holds the latest
+    // checkpoint plus the tail segments), then recovered by the full
+    // on-disk path — directory scan, CRC verification of every record,
+    // journal reassembly, checkpoint restore, tail replay.
+    let io = Arc::new(MemIo::new());
+    let mut cfg = engine_config(8, 1, BackendKind::TheoremOne { gamma: 8 }, false);
+    cfg.journal = true;
+    cfg.retained_segments = 4;
+    let mut durable = Engine::new(cfg);
+    let store = DurableStore::create(
+        Arc::clone(&io) as Arc<dyn StoreIo>,
+        Path::new("/bench"),
+        durable.journal().unwrap().config(),
+    )
+    .expect("create store");
+    durable.attach_durability(Box::new(store)).expect("attach");
+    for (i, chunk) in seq.requests().chunks(BATCH).enumerate() {
+        for &r in chunk {
+            durable.submit(r);
+        }
+        durable.flush_durable().expect("group commit");
+        if (i + 1) % CHECKPOINT_EVERY == 0 {
+            durable.checkpoint();
+            assert!(durable.durability_error().is_none());
+        }
+    }
+    let from_disk = Engine::recover_from_store(&*io, Path::new("/bench")).unwrap();
+    assert_eq!(from_disk.state_digest(), durable.state_digest());
+    let disk_tail = durable.journal().unwrap().tail_events().len();
+    group.bench_function(BenchmarkId::new("recover_from_disk", disk_tail), |b| {
+        b.iter(|| Engine::recover_from_store(&*io, Path::new("/bench")).unwrap())
     });
     group.finish();
 }

@@ -81,6 +81,7 @@ pub mod transport;
 pub use frame::{Frame, Payload, MAX_FRAME_BYTES};
 pub use primary::{Primary, DEFAULT_HISTORY_FRAMES};
 pub use replica::{ApplyError, Replica};
+pub use tcp::{LinkConfig, PrimaryLink, ReplicaServer};
 pub use transport::{FrameSink, TransportError};
 
 /// Why a cluster role could not be constructed.

@@ -67,6 +67,56 @@ impl Primary {
         })
     }
 
+    /// Wraps an engine **recovered from durable storage**
+    /// ([`Engine::recover_from_dir`] via `realloc_store`, or any
+    /// journal-replay restart) as a fresh primary at `term`, pre-seeding
+    /// the stream so replicas bootstrap from the recovered checkpoint.
+    ///
+    /// Where [`Primary::new`] starts the stream at the journal's end
+    /// (all history folded into future full-snapshot bootstraps), this
+    /// constructor anchors it at the journal's **latest checkpoint**:
+    /// the post-checkpoint tail is stamped as stream frames `1..` and a
+    /// synthetic `(seq 0, events_before)` check anchor is installed, so
+    /// [`Primary::bootstrap`] ships the (already durable, typically
+    /// much smaller) checkpoint snapshot plus the tail — the O(tail)
+    /// path — instead of serializing a fresh full snapshot of the
+    /// recovered state. A journal with no checkpoint yet degrades to
+    /// exactly [`Primary::new`] semantics.
+    pub fn from_recovered(engine: Engine, term: u64) -> Result<Primary, ClusterError> {
+        if term == 0 {
+            return Err(ClusterError::BadTerm);
+        }
+        let Some(journal) = engine.journal() else {
+            return Err(ClusterError::JournalDisabled);
+        };
+        let Some(cursor) = journal.checkpoint_cursor() else {
+            return Self::new(engine, term);
+        };
+        let check_events = journal
+            .latest_checkpoint()
+            .expect("checkpoint_cursor implies a checkpoint")
+            .events_before;
+        let mut primary = Primary {
+            engine,
+            term,
+            next_seq: 1,
+            cursor,
+            history: VecDeque::new(),
+            history_cap: DEFAULT_HISTORY_FRAMES,
+            last_check: None,
+            tele: None,
+        };
+        // Stamp the recovered post-checkpoint tail into the retained
+        // history as frames seq 1.. — these are NOT broadcast (there is
+        // no one attached yet); they exist so `frames_since(0)` can
+        // serve them behind the checkpoint anchor below. A tail longer
+        // than the history cap evicts its head, in which case bootstrap
+        // falls back to a full snapshot — correct, just not O(tail).
+        let _tail = primary.poll();
+        primary.last_check = Some((0, check_events));
+        Ok(primary)
+    }
+
     /// Attaches a telemetry registry: the wrapped engine gets its full
     /// instrument set ([`Engine::attach_telemetry`]) and the streaming
     /// side adds `cluster_term` / `cluster_next_seq` gauges, per-payload

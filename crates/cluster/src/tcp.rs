@@ -20,6 +20,22 @@
 //! batch many events per frame — one round-trip per flush, not per
 //! request.)
 //!
+//! # Timeouts and reconnection
+//!
+//! Every link operation is bounded by a [`LinkConfig`]: connects use
+//! [`TcpStream::connect_timeout`], reads and writes carry socket
+//! timeouts, so a hung replica fails a send instead of wedging the
+//! primary forever. After a failed send the connection is dropped; the
+//! **next** send redials with bounded exponential backoff
+//! ([`LinkConfig::backoff_base`] doubling up to
+//! [`LinkConfig::backoff_cap`], at most
+//! [`LinkConfig::reconnect_attempts`] dials). The failed frame is *not*
+//! resent automatically — the replica acks per sequence number, so the
+//! embedder decides between retrying the frame (idempotent: a duplicate
+//! seq is rejected as a gap in the other direction) and falling back to
+//! [`crate::Primary::frames_since`] / [`crate::Primary::bootstrap`],
+//! exactly as with any other rejected send.
+//!
 //! # Threading
 //!
 //! [`ReplicaServer::bind`] spawns one accept-loop thread; each accepted
@@ -29,21 +45,77 @@
 //! [`ReplicaServer::replica`] — that is the read-scaling surface.
 //! Handler threads exit when their peer disconnects; the accept loop
 //! exits on [`ReplicaServer::shutdown`] (also triggered by `Drop`).
+//!
+//! A handler that finds the replica's mutex **poisoned** (another
+//! handler panicked mid-apply) does not propagate the panic: it drops
+//! its connection — un-acked frames stay un-acked, so no data is lost —
+//! and the event is counted in [`ReplicaServer::handlers_poisoned`]
+//! (and the `replica_handler_poisoned_total` counter when telemetry is
+//! attached). The primary sees a closed link and re-establishes, while
+//! local readers holding [`ReplicaServer::replica`] decide for
+//! themselves how to treat the poisoned state.
 
 use crate::frame::{Frame, MAX_FRAME_BYTES};
 use crate::replica::Replica;
 use crate::tele::LinkTele;
 use crate::transport::{FrameSink, TransportError};
 use realloc_core::textio::{read_frame, write_frame};
-use realloc_telemetry::Telemetry;
+use realloc_telemetry::{Counter, Telemetry};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Cap on one ack frame (a short status line).
 const MAX_ACK_BYTES: u32 = 4096;
+
+/// Socket and retry policy for a [`PrimaryLink`]; the defaults suit a
+/// LAN replica (generous timeouts, sub-second backoff).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Bound on establishing a connection.
+    pub connect_timeout: Duration,
+    /// Socket read timeout — bounds the wait for each ack.
+    pub read_timeout: Duration,
+    /// Socket write timeout — bounds each frame write.
+    pub write_timeout: Duration,
+    /// First reconnect delay; doubles per failed dial.
+    pub backoff_base: Duration,
+    /// Ceiling on the per-dial backoff delay.
+    pub backoff_cap: Duration,
+    /// Dial attempts per reconnect (a send that needs a connection
+    /// fails after this many dials; the next send starts over).
+    pub reconnect_attempts: u32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            reconnect_attempts: 5,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Backoff before dial `attempt` (0-based): `base << attempt`,
+    /// saturating at the cap. Attempt 0 dials immediately.
+    fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(20).saturating_sub(1));
+        exp.min(self.backoff_cap)
+    }
+}
 
 /// Replica-side server: owns the accept loop and the shared replica.
 #[derive(Debug)]
@@ -52,6 +124,26 @@ pub struct ReplicaServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Connections dropped over a poisoned replica lock, plus the
+    /// telemetry counter handlers mirror it into.
+    poisoned: Arc<PoisonCount>,
+}
+
+/// Shared poison bookkeeping between the server handle and its handler
+/// threads.
+#[derive(Debug, Default)]
+struct PoisonCount {
+    total: AtomicU64,
+    counter: Mutex<Option<Counter>>,
+}
+
+impl PoisonCount {
+    fn record(&self) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.counter.lock().ok().and_then(|g| g.clone()) {
+            c.inc();
+        }
+    }
 }
 
 impl ReplicaServer {
@@ -62,8 +154,10 @@ impl ReplicaServer {
         let addr = listener.local_addr()?;
         let replica = Arc::new(Mutex::new(replica));
         let stop = Arc::new(AtomicBool::new(false));
+        let poisoned = Arc::new(PoisonCount::default());
         let accept_replica = Arc::clone(&replica);
         let accept_stop = Arc::clone(&stop);
+        let accept_poisoned = Arc::clone(&poisoned);
         let accept_thread = std::thread::Builder::new()
             .name(format!("replica-accept-{addr}"))
             .spawn(move || {
@@ -73,11 +167,12 @@ impl ReplicaServer {
                     }
                     let Ok(stream) = stream else { continue };
                     let conn_replica = Arc::clone(&accept_replica);
+                    let conn_poisoned = Arc::clone(&accept_poisoned);
                     // Handler threads are detached: they exit when the
                     // peer disconnects (read_frame returns None/Err).
                     let _ = std::thread::Builder::new()
                         .name("replica-conn".to_string())
-                        .spawn(move || serve_connection(stream, conn_replica));
+                        .spawn(move || serve_connection(stream, conn_replica, conn_poisoned));
                 }
             })?;
         Ok(ReplicaServer {
@@ -85,6 +180,7 @@ impl ReplicaServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            poisoned,
         })
     }
 
@@ -99,6 +195,24 @@ impl ReplicaServer {
     /// with replication at batch granularity.
     pub fn replica(&self) -> Arc<Mutex<Replica>> {
         Arc::clone(&self.replica)
+    }
+
+    /// Connections dropped because the replica's lock was poisoned (a
+    /// handler panicked mid-apply). Nonzero means the replica's state
+    /// is suspect and a re-bootstrap or failover is in order.
+    pub fn handlers_poisoned(&self) -> u64 {
+        self.poisoned.total.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors poison drops into a `replica_handler_poisoned_total`
+    /// counter. A disabled handle detaches.
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        let counter = telemetry
+            .is_enabled()
+            .then(|| telemetry.counter("replica_handler_poisoned_total"));
+        if let Ok(mut slot) = self.poisoned.counter.lock() {
+            *slot = counter;
+        }
     }
 
     /// Stops the accept loop and joins it. In-flight connection handlers
@@ -122,7 +236,9 @@ impl Drop for ReplicaServer {
 }
 
 /// One connection: read frame → parse → apply → ack, until disconnect.
-fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>) {
+/// A poisoned replica lock drops the connection (counted) instead of
+/// propagating the panic; see the module docs.
+fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>, poisoned: Arc<PoisonCount>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -133,19 +249,26 @@ fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return, // peer gone
         };
-        let ack = match std::str::from_utf8(&payload)
+        let parsed = std::str::from_utf8(&payload)
             .map_err(|e| format!("frame is not UTF-8: {e}"))
-            .and_then(|text| Frame::parse(text).map_err(|e| e.to_string()))
-            .and_then(|frame| {
+            .and_then(|text| Frame::parse(text).map_err(|e| e.to_string()));
+        let ack = match parsed {
+            Ok(frame) => {
                 let seq = frame.seq;
-                replica
-                    .lock()
-                    .expect("replica mutex poisoned")
-                    .apply(&frame)
-                    .map(|()| seq)
-                    .map_err(|e| e.to_string())
-            }) {
-            Ok(seq) => format!("ok {seq}"),
+                let Ok(mut guard) = replica.lock() else {
+                    // Another handler panicked while holding the lock:
+                    // the replica's state is suspect. Degrade — drop
+                    // this connection without acking (the primary
+                    // re-sends or re-bootstraps elsewhere) rather than
+                    // panic the whole server.
+                    poisoned.record();
+                    return;
+                };
+                match guard.apply(&frame) {
+                    Ok(()) => format!("ok {seq}"),
+                    Err(e) => format!("err {e}"),
+                }
+            }
             Err(e) => format!("err {e}"),
         };
         if write_frame(&mut writer, ack.as_bytes()).is_err() || writer.flush().is_err() {
@@ -155,32 +278,56 @@ fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>) {
 }
 
 /// Primary-side link to one remote replica: sends a frame, waits for the
-/// ack. Dropping the link closes the connection (the replica's handler
-/// thread exits).
+/// ack. Socket operations are bounded by the link's [`LinkConfig`]; a
+/// failed send drops the connection and the next send redials with
+/// exponential backoff (see the module docs — failed frames are not
+/// resent automatically). Dropping the link closes the connection (the
+/// replica's handler thread exits).
 #[derive(Debug)]
 pub struct PrimaryLink {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    /// The replica's address, as connected (the telemetry label).
+    /// The live connection, absent after a send failure until the next
+    /// send redials.
+    conn: Option<Conn>,
+    /// The replica's resolved address (redial target, telemetry label).
     peer: SocketAddr,
+    config: LinkConfig,
     /// Per-link instruments ([`PrimaryLink::attach_telemetry`]), labeled
     /// `replica="<peer>"`.
     tele: Option<Box<LinkTele>>,
 }
 
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
 impl PrimaryLink {
-    /// Connects to a [`ReplicaServer`].
+    /// Connects to a [`ReplicaServer`] under [`LinkConfig::default`].
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<PrimaryLink> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let peer = stream.peer_addr()?;
-        let write_half = stream.try_clone()?;
-        Ok(PrimaryLink {
-            reader: BufReader::new(stream),
-            writer: BufWriter::new(write_half),
+        Self::connect_with(addr, LinkConfig::default())
+    }
+
+    /// Connects with an explicit timeout/backoff policy. The initial
+    /// dial gets the same bounded-backoff retry loop as reconnects.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: LinkConfig,
+    ) -> std::io::Result<PrimaryLink> {
+        let peer = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let mut link = PrimaryLink {
+            conn: None,
             peer,
+            config,
             tele: None,
-        })
+        };
+        link.redial()?;
+        Ok(link)
     }
 
     /// The replica address this link ships to.
@@ -188,15 +335,65 @@ impl PrimaryLink {
         self.peer
     }
 
+    /// Whether the link currently holds a live connection (false after
+    /// a failed send, until the next send redials).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// This link's timeout/backoff policy.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
     /// Attaches per-link instruments, labeled with this link's replica
     /// address: bytes shipped, ack round-trip latency, the highest
-    /// acknowledged sequence, and send errors. A registry watching a
-    /// whole fan-out distinguishes links by the `replica` label — the
-    /// per-replica lag a poller reads is the primary's `cluster_next_seq
-    /// − 1` minus this link's `cluster_link_acked_seq` (or the replica's
-    /// own `cluster_replica_last_seq`). A disabled handle detaches.
+    /// acknowledged sequence, send errors, and reconnect dials. A
+    /// registry watching a whole fan-out distinguishes links by the
+    /// `replica` label — the per-replica lag a poller reads is the
+    /// primary's `cluster_next_seq − 1` minus this link's
+    /// `cluster_link_acked_seq` (or the replica's own
+    /// `cluster_replica_last_seq`). A disabled handle detaches.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.tele = LinkTele::build(telemetry, &self.peer.to_string());
+    }
+
+    /// One bounded dial (connect + socket timeouts applied).
+    fn dial(&self) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&self.peer, self.config.connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let write_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Establishes a connection with bounded exponential backoff,
+    /// counting each successful re-dial.
+    fn redial(&mut self) -> std::io::Result<()> {
+        let mut last = None;
+        for attempt in 0..self.config.reconnect_attempts.max(1) {
+            let delay = self.config.backoff(attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            match self.dial() {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    if let Some(tele) = &self.tele {
+                        tele.reconnects.inc();
+                    }
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "no dial attempts configured")
+        }))
     }
 }
 
@@ -204,7 +401,16 @@ impl FrameSink for PrimaryLink {
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
         let text = frame.to_text();
         let t0 = self.tele.as_ref().map(|t| t.t.now_nanos());
-        let result = send_text(&mut self.reader, &mut self.writer, &text);
+        if self.conn.is_none() {
+            self.redial().map_err(|e| {
+                if let Some(tele) = &self.tele {
+                    tele.send_errors.inc();
+                }
+                TransportError::Io(e)
+            })?;
+        }
+        let conn = self.conn.as_mut().expect("redialed above");
+        let result = send_text(&mut conn.reader, &mut conn.writer, &text);
         if let Some(tele) = &self.tele {
             match &result {
                 Ok(()) => {
@@ -218,6 +424,14 @@ impl FrameSink for PrimaryLink {
                 }
                 Err(_) => tele.send_errors.inc(),
             }
+        }
+        if matches!(
+            result,
+            Err(TransportError::Io(_)) | Err(TransportError::Closed)
+        ) {
+            // The stream is in an unknown state (the frame may or may
+            // not have been applied): drop it. The next send redials.
+            self.conn = None;
         }
         result
     }

@@ -20,8 +20,13 @@
 //!   `cluster_replica_{apply,digest_check,bootstrap}_nanos` histograms.
 //! * **Link** — `cluster_link_bytes_shipped_total`,
 //!   `cluster_link_ack_rtt_nanos`, `cluster_link_acked_seq`, and
-//!   `cluster_link_send_errors_total`, each labeled with the replica's
+//!   `cluster_link_send_errors_total`, and
+//!   `cluster_link_reconnects_total`, each labeled with the replica's
 //!   address so one registry can watch a whole fan-out.
+//! * **Server** — `replica_handler_poisoned_total`: connections dropped
+//!   because the shared replica's lock was poisoned (a handler thread
+//!   panicked mid-apply); the server degrades instead of cascading the
+//!   panic.
 
 use realloc_telemetry::{labeled, Counter, Gauge, Histo, Telemetry};
 
@@ -108,6 +113,7 @@ pub(crate) struct LinkTele {
     pub ack_rtt_nanos: Histo,
     pub acked_seq: Gauge,
     pub send_errors: Counter,
+    pub reconnects: Counter,
 }
 
 impl LinkTele {
@@ -122,6 +128,7 @@ impl LinkTele {
             ack_rtt_nanos: t.histogram(labeled("cluster_link_ack_rtt_nanos", "replica", addr)),
             acked_seq: t.gauge(labeled("cluster_link_acked_seq", "replica", addr)),
             send_errors: t.counter(labeled("cluster_link_send_errors_total", "replica", addr)),
+            reconnects: t.counter(labeled("cluster_link_reconnects_total", "replica", addr)),
             t: t.clone(),
         }))
     }

@@ -37,6 +37,7 @@
 
 pub mod clock;
 pub mod cost;
+pub mod crc;
 pub mod error;
 pub mod feasibility;
 pub mod job;

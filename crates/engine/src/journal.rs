@@ -162,6 +162,33 @@ pub struct JournalEvent {
     pub result: ReqResult,
 }
 
+impl JournalEvent {
+    /// Appends this event's v3 journal line (`+`/`-` op, no trailing
+    /// `b` batch marker — that is the caller's framing concern) to
+    /// `out`. [`Journal::to_text`] and the on-disk store share this
+    /// encoder, so a store segment file's event lines parse with the
+    /// same grammar as an in-memory journal dump.
+    pub fn write_line(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self.request {
+            Request::Insert { id, window } => write!(
+                out,
+                "+ {} {} {} {}",
+                self.shard,
+                id.0,
+                window.start(),
+                window.end()
+            )
+            .unwrap(),
+            Request::Delete { id } => write!(out, "- {} {}", self.shard, id.0).unwrap(),
+        }
+        match self.result {
+            Ok(c) => writeln!(out, " ok {} {}", c.reallocations, c.migrations).unwrap(),
+            Err(code) => writeln!(out, " err {code}").unwrap(),
+        }
+    }
+}
+
 /// Where a replay first diverged from the recording.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplayDivergence {
@@ -225,6 +252,18 @@ impl EpochRecord {
             shards: router.shards(),
             pins: router.pins().collect(),
         }
+    }
+
+    /// Appends this record's v3 journal line (`E <epoch> <shards>
+    /// [<tenant> <shard>]…`) to `out`; shared by [`Journal::to_text`]
+    /// and the on-disk store.
+    pub fn write_line(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        write!(out, "E {} {}", self.epoch, self.shards).unwrap();
+        for &(tenant, shard) in &self.pins {
+            write!(out, " {tenant} {shard}").unwrap();
+        }
+        out.push('\n');
     }
 }
 
@@ -535,6 +574,32 @@ impl Journal {
         self.segments.iter().rev().find_map(|s| s.base.as_ref())
     }
 
+    /// A [`JournalCursor`] positioned exactly at the latest checkpoint
+    /// (`None` when no checkpoint exists): [`Journal::records_since`]
+    /// from here yields precisely the records after the snapshot was
+    /// cut. A recovered replication primary uses this to pre-stamp the
+    /// post-checkpoint tail so bootstrap ships snapshot + tail instead
+    /// of a fresh full snapshot.
+    pub fn checkpoint_cursor(&self) -> Option<JournalCursor> {
+        let latest = self.segments.iter().rposition(|s| s.base.is_some())?;
+        let cp = self.segments[latest].base.as_ref().expect("rposition hit");
+        // Epoch records recorded before the checkpoint live in earlier
+        // segments; epochs strictly increase, so the max is the last
+        // record of the last earlier segment holding one.
+        let last_epoch = self
+            .segments
+            .iter()
+            .take(latest)
+            .flat_map(|s| s.epochs.iter())
+            .map(|(_, r)| r.epoch)
+            .max()
+            .unwrap_or(0);
+        Some(JournalCursor {
+            events_seen: cp.events_before,
+            last_epoch,
+        })
+    }
+
     /// Appends one event (called by the engine during flush).
     pub fn append(&mut self, event: JournalEvent) {
         self.segments
@@ -602,13 +667,6 @@ impl Journal {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(self.event_count() * 24 + 64);
         out.push_str("# realloc-engine journal v3\n");
-        let write_epoch = |out: &mut String, rec: &EpochRecord| {
-            write!(out, "E {} {}", rec.epoch, rec.shards).unwrap();
-            for &(tenant, shard) in &rec.pins {
-                write!(out, " {tenant} {shard}").unwrap();
-            }
-            out.push('\n');
-        };
         // The header deliberately omits `parallel`: recordings are
         // execution-strategy agnostic (a pool-drained engine's journal
         // is byte-identical to a sequential one, and the property tests
@@ -641,31 +699,16 @@ impl Journal {
             for (idx, e) in seg.events.iter().enumerate() {
                 while epochs.peek().is_some_and(|&&(pos, _)| pos <= idx) {
                     let (_, rec) = epochs.next().expect("peeked");
-                    write_epoch(&mut out, rec);
+                    rec.write_line(&mut out);
                 }
                 if batch != Some(e.batch) {
                     writeln!(out, "b {}", e.batch).unwrap();
                     batch = Some(e.batch);
                 }
-                match e.request {
-                    Request::Insert { id, window } => write!(
-                        out,
-                        "+ {} {} {} {}",
-                        e.shard,
-                        id.0,
-                        window.start(),
-                        window.end()
-                    )
-                    .unwrap(),
-                    Request::Delete { id } => write!(out, "- {} {}", e.shard, id.0).unwrap(),
-                }
-                match e.result {
-                    Ok(c) => writeln!(out, " ok {} {}", c.reallocations, c.migrations).unwrap(),
-                    Err(code) => writeln!(out, " err {code}").unwrap(),
-                }
+                e.write_line(&mut out);
             }
             for (_, rec) in epochs {
-                write_epoch(&mut out, rec);
+                rec.write_line(&mut out);
             }
         }
         out

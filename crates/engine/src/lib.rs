@@ -123,6 +123,38 @@ pub struct TenantId(pub u16);
 /// so routing tables can pin tenants without depending on this crate.)
 pub use realloc_core::router::TENANT_SHIFT;
 
+/// A durable tee under the in-memory journal: everything the journal
+/// records — batches of events, epoch records, checkpoints — is also
+/// handed to the attached sink, and [`Engine::flush_durable`] calls
+/// [`DurabilitySink::sync`] once per flush (group commit) so its `Ok`
+/// means *on stable storage*, not just *in memory*.
+///
+/// The on-disk implementation lives in `realloc-store` (this crate
+/// cannot depend on it — the store decodes through [`Journal`], so the
+/// dependency points the other way). Error strings are sticky at the
+/// engine level: after the first sink failure the engine stops teeing
+/// and [`Engine::durability_error`] reports the cause, while in-memory
+/// serving continues unaffected.
+pub trait DurabilitySink: Send + std::fmt::Debug {
+    /// Appends one flush's events (all share one batch number). Called
+    /// once per non-empty flush; ordering across calls matches the
+    /// journal's record order.
+    fn append_batch(&mut self, events: &[JournalEvent]) -> Result<(), String>;
+
+    /// Appends an epoch record at its position in the stream.
+    fn append_epoch(&mut self, record: &EpochRecord) -> Result<(), String>;
+
+    /// Persists a checkpoint and seals the current on-disk segment. The
+    /// implementation must make this atomic and durable on its own
+    /// (temp + fsync + rename) — the engine does not follow up with a
+    /// [`DurabilitySink::sync`].
+    fn checkpoint(&mut self, checkpoint: &Checkpoint) -> Result<(), String>;
+
+    /// Group-commit barrier: everything appended so far must be on
+    /// stable storage when this returns `Ok`.
+    fn sync(&mut self) -> Result<(), String>;
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -187,6 +219,14 @@ pub struct Engine {
     pool_forced: bool,
     journal: Option<Journal>,
     batches: u64,
+    /// Optional durable tee under the journal
+    /// ([`Engine::attach_durability`]). Runtime-only, like telemetry:
+    /// never part of snapshots.
+    sink: Option<Box<dyn DurabilitySink>>,
+    /// First sink failure, sticky: teeing stops, serving continues, and
+    /// [`Engine::flush_durable`] keeps failing until a fresh sink is
+    /// attached.
+    durability_error: Option<String>,
     /// Resolved observability instruments, present iff
     /// [`Engine::attach_telemetry`] was given an enabled registry.
     /// Runtime-only: excluded from snapshots so replication digests stay
@@ -234,6 +274,8 @@ impl Engine {
             pool_forced: false,
             journal,
             batches: 0,
+            sink: None,
+            durability_error: None,
             tele: None,
         }
     }
@@ -430,19 +472,49 @@ impl Engine {
     }
 
     /// The journal-append step of a flush (shared by the plain and
-    /// instrumented paths so the recorded stream is identical).
+    /// instrumented paths so the recorded stream is identical), with the
+    /// durable tee: when a sink is attached (and healthy), the same
+    /// events are handed to it as one batch.
     fn append_drains(&mut self, batch: u64, drains: &[ShardDrain]) {
-        if let Some(journal) = &mut self.journal {
-            for (shard, drain) in drains.iter().enumerate() {
-                for &(request, result) in &drain.records {
-                    journal.append(JournalEvent {
-                        batch,
-                        shard,
-                        request,
-                        result,
-                    });
+        let Some(journal) = &mut self.journal else {
+            return;
+        };
+        let tee = self.sink.is_some() && self.durability_error.is_none();
+        let mut teed: Vec<JournalEvent> = Vec::new();
+        for (shard, drain) in drains.iter().enumerate() {
+            for &(request, result) in &drain.records {
+                let event = JournalEvent {
+                    batch,
+                    shard,
+                    request,
+                    result,
+                };
+                journal.append(event);
+                if tee {
+                    teed.push(event);
                 }
             }
+        }
+        if tee && !teed.is_empty() {
+            let result = self
+                .sink
+                .as_mut()
+                .expect("tee checked presence")
+                .append_batch(&teed);
+            if let Err(e) = result {
+                self.durability_fail(e);
+            }
+        }
+    }
+
+    /// Records the first sink failure: teeing stops (the on-disk stream
+    /// must not continue past a hole), in-memory serving continues.
+    fn durability_fail(&mut self, message: String) {
+        if let Some(tele) = &self.tele {
+            tele.t.point(Severity::Warn, "durability_error", 0, 0);
+        }
+        if self.durability_error.is_none() {
+            self.durability_error = Some(message);
         }
     }
 
@@ -556,6 +628,67 @@ impl Engine {
     /// The journal, when enabled in the config.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Durable tee (see `DurabilitySink`)
+    // ------------------------------------------------------------------
+
+    /// Attaches a durable store under the journal: from now on every
+    /// flushed batch, epoch record, and checkpoint is tee'd to `sink`,
+    /// and [`Engine::flush_durable`] group-commits. Requires the
+    /// in-memory journal ([`EngineConfig::journal`]) — the sink mirrors
+    /// its stream. Replaces any previous sink and clears a sticky
+    /// durability error.
+    pub fn attach_durability(&mut self, sink: Box<dyn DurabilitySink>) -> Result<(), String> {
+        if self.journal.is_none() {
+            return Err(
+                "durable store requires the in-memory journal (EngineConfig::journal)".to_string(),
+            );
+        }
+        self.sink = Some(sink);
+        self.durability_error = None;
+        Ok(())
+    }
+
+    /// Detaches and returns the durable sink (e.g. to inspect or close
+    /// it); the engine reverts to in-memory-only journaling.
+    pub fn detach_durability(&mut self) -> Option<Box<dyn DurabilitySink>> {
+        self.sink.take()
+    }
+
+    /// Whether a durable sink is currently attached.
+    pub fn has_durability(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The first durable-sink failure, if any. Sticky: once set, teeing
+    /// has stopped and [`Engine::flush_durable`] fails until a fresh
+    /// sink is attached. In-memory serving is unaffected.
+    pub fn durability_error(&self) -> Option<&str> {
+        self.durability_error.as_deref()
+    }
+
+    /// [`Engine::flush`] with a durability barrier: services everything
+    /// queued, tees the batch to the attached sink, and group-commits
+    /// ([`DurabilitySink::sync`] — one fsync per flush, however many
+    /// events it carried). `Ok` therefore means *this batch survives a
+    /// crash*. Fails when no sink is attached, when a previous tee
+    /// already failed (sticky), or when the sync itself fails; the
+    /// in-memory flush still happened in every error case.
+    pub fn flush_durable(&mut self) -> Result<BatchReport, String> {
+        let report = self.flush();
+        if self.sink.is_none() {
+            return Err("no durable store attached (Engine::attach_durability)".to_string());
+        }
+        if let Some(e) = &self.durability_error {
+            return Err(e.clone());
+        }
+        if let Err(e) = self.sink.as_mut().expect("checked above").sync() {
+            self.durability_fail(e.clone());
+            return Err(e);
+        }
+        Ok(report)
     }
 
     /// Every active job's `(shard, machine, slot)` placement, sorted by
@@ -779,6 +912,17 @@ impl Engine {
         }
         if let Some(journal) = &mut self.journal {
             journal.append_epoch(EpochRecord::of(&self.router));
+            if self.sink.is_some() && self.durability_error.is_none() {
+                let record = EpochRecord::of(&self.router);
+                let result = self
+                    .sink
+                    .as_mut()
+                    .expect("checked presence")
+                    .append_epoch(&record);
+                if let Err(e) = result {
+                    self.durability_fail(e);
+                }
+            }
         }
         // Fresh shards start uninstrumented: re-install drain handles
         // and publish the resize before returning.
@@ -940,6 +1084,24 @@ impl Engine {
             .as_mut()
             .expect("checked above")
             .checkpoint(snapshot, batches);
+        if self.sink.is_some() && self.durability_error.is_none() {
+            // Tee the checkpoint the journal just cut (borrowed, not
+            // cloned — snapshots run to megabytes).
+            let failed = {
+                let journal = self.journal.as_ref().expect("checked above");
+                let cp = journal
+                    .latest_checkpoint()
+                    .expect("checkpoint() just sealed one");
+                self.sink
+                    .as_mut()
+                    .expect("checked presence")
+                    .checkpoint(cp)
+                    .err()
+            };
+            if let Some(e) = failed {
+                self.durability_fail(e);
+            }
+        }
         if let Some(tele) = &mut self.tele {
             let took = tele.now().saturating_sub(t0.expect("stamped above"));
             tele.checkpoints_total.inc();
@@ -1340,6 +1502,8 @@ impl Restorable for Engine {
             pool_forced: false,
             journal,
             batches,
+            sink: None,
+            durability_error: None,
             tele: None,
         })
     }

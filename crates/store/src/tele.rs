@@ -1,0 +1,51 @@
+//! Store instrument bundle: resolved-once handles into an attached
+//! [`realloc_telemetry::Telemetry`] registry.
+//!
+//! Naming follows the workspace scheme (`store_*`):
+//!
+//! * `store_fsync_nanos` — latency histogram of every group-commit
+//!   [`crate::DurableStore`] `sync` (the durability tax each
+//!   acknowledged flush pays),
+//! * `store_bytes_written_total` / `store_records_total` — framed bytes
+//!   and records appended (segments and checkpoints together),
+//! * `store_checkpoints_total` — checkpoints persisted (temp + fsync +
+//!   rename sequences completed),
+//! * `store_segments_unlinked_total` — sealed segment files removed by
+//!   retention,
+//! * `store_torn_tail_truncations_total` — torn tails truncated when a
+//!   store was opened over a crashed directory,
+//! * `store_injected_faults_total` — counted by [`crate::FaultIo`]
+//!   (test/ chaos runs only; absent in production).
+
+use realloc_telemetry::{Counter, Histo, Telemetry};
+
+/// Write-path instruments; held by [`crate::DurableStore`].
+#[derive(Debug)]
+pub(crate) struct StoreTele {
+    /// The attached registry (clock for fsync timing).
+    pub t: Telemetry,
+    pub fsync_nanos: Histo,
+    pub bytes_written: Counter,
+    pub records: Counter,
+    pub checkpoints: Counter,
+    pub segments_unlinked: Counter,
+    pub torn_truncations: Counter,
+}
+
+impl StoreTele {
+    /// Resolves the store's instruments; `None` for a disabled handle.
+    pub fn build(t: &Telemetry) -> Option<Box<StoreTele>> {
+        if !t.is_enabled() {
+            return None;
+        }
+        Some(Box::new(StoreTele {
+            fsync_nanos: t.histogram("store_fsync_nanos"),
+            bytes_written: t.counter("store_bytes_written_total"),
+            records: t.counter("store_records_total"),
+            checkpoints: t.counter("store_checkpoints_total"),
+            segments_unlinked: t.counter("store_segments_unlinked_total"),
+            torn_truncations: t.counter("store_torn_tail_truncations_total"),
+            t: t.clone(),
+        }))
+    }
+}

@@ -1,0 +1,248 @@
+//! Hostile on-disk corpus: recovery over tampered, truncated, and
+//! garbage store directories must produce located errors or clean
+//! truncation — never a panic, never silent acceptance of corrupt
+//! history.
+
+use proptest::prelude::*;
+use realloc_core::{JobId, Request, Window};
+use realloc_engine::{BackendKind, Engine, EngineConfig};
+use realloc_store::{segment_file_name, DurableStore, MemIo, RecoverFromDir, StoreError, StoreIo};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        shards: 2,
+        machines_per_shard: 2,
+        backend: BackendKind::TheoremOne { gamma: 8 },
+        parallel: false,
+        journal: true,
+        retained_segments: 2,
+    }
+}
+
+/// Builds a store with real history: `flushes` durable batches with a
+/// checkpoint after each `ckpt_every`-th, returning the io handle, the
+/// directory, the live engine, and the journal text captured after
+/// every durable action (the set of states any honest truncation may
+/// recover).
+fn build(flushes: usize, ckpt_every: usize) -> (Arc<MemIo>, PathBuf, Engine, Vec<String>) {
+    let io = Arc::new(MemIo::new());
+    let dir = PathBuf::from("/store");
+    let mut engine = Engine::new(config());
+    let store = DurableStore::create(
+        Arc::clone(&io) as Arc<dyn StoreIo>,
+        &dir,
+        engine.journal().expect("journaled").config(),
+    )
+    .expect("create store");
+    engine.attach_durability(Box::new(store)).expect("attach");
+    let mut texts = vec![engine.journal().expect("journaled").to_text()];
+    for i in 0..flushes {
+        let id = i as u64 + 1;
+        let start = (id * 7) % 40;
+        engine.submit(Request::Insert {
+            id: JobId(id),
+            window: Window::new(start, start + 1 + id % 5),
+        });
+        if i % 3 == 2 {
+            engine.submit(Request::Delete {
+                id: JobId(id / 2 + 1),
+            });
+        }
+        engine.flush_durable().expect("durable flush");
+        texts.push(engine.journal().expect("journaled").to_text());
+        if ckpt_every > 0 && (i + 1) % ckpt_every == 0 {
+            assert!(engine.checkpoint());
+            assert!(engine.durability_error().is_none(), "checkpoint tee failed");
+            texts.push(engine.journal().expect("journaled").to_text());
+        }
+    }
+    (io, dir, engine, texts)
+}
+
+fn recover(io: &MemIo, dir: &Path) -> Result<Engine, StoreError> {
+    Engine::recover_from_store(io, dir)
+}
+
+#[test]
+fn clean_directory_recovers_the_live_state() {
+    let (io, dir, engine, _) = build(10, 4);
+    let recovered = recover(&io, &dir).expect("clean recovery");
+    assert_eq!(recovered.state_digest(), engine.state_digest());
+    assert_eq!(
+        format!("{:?}", recovered.placements()),
+        format!("{:?}", engine.placements())
+    );
+    recovered.validate().expect("recovered engine valid");
+}
+
+#[test]
+fn bad_crc_in_a_sealed_segment_is_a_located_error() {
+    let (io, dir, _engine, _) = build(10, 4); // segments 0..=2, seg-2 open
+    let victim = dir.join(segment_file_name(1));
+    let len = io.file_len(&victim).expect("sealed segment exists");
+    io.flip_bit(&victim, len / 2, 3).expect("flip");
+    match recover(&io, &dir) {
+        Err(StoreError::Corrupt { file, .. }) => {
+            assert_eq!(file, segment_file_name(1), "error names the tampered file")
+        }
+        other => panic!("expected a located Corrupt error, got {other:?}"),
+    }
+}
+
+#[test]
+fn torn_tail_in_the_open_segment_is_truncated_not_fatal() {
+    let (io, dir, engine, _) = build(7, 4);
+    let open_seg = dir.join(segment_file_name(1));
+    let before = io.file_len(&open_seg).expect("open segment exists");
+    // A record header promising more payload than exists: a mid-record
+    // tear at the end of the open segment.
+    io.append(
+        &open_seg,
+        &[0x00, 0x00, 0x01, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x41],
+    )
+    .expect("tamper append");
+    let recovered = recover(&io, &dir).expect("torn tail tolerated");
+    assert_eq!(recovered.state_digest(), engine.state_digest());
+    // Re-opening repairs the file back to its valid prefix…
+    let (_store, report) =
+        DurableStore::open(Arc::clone(&io) as Arc<dyn StoreIo>, &dir).expect("open repairs");
+    assert_eq!(report.torn_bytes_truncated, 9);
+    assert_eq!(io.file_len(&open_seg), Some(before));
+    // …after which recovery still agrees.
+    let again = recover(&io, &dir).expect("recovery after repair");
+    assert_eq!(again.state_digest(), engine.state_digest());
+}
+
+#[test]
+fn truncated_checkpoint_is_a_located_error() {
+    let (io, dir, _engine, _) = build(10, 4);
+    let ckpt = dir.join("ckpt-000001.ckpt");
+    let len = io.file_len(&ckpt).expect("checkpoint exists") as u64;
+    io.truncate(&ckpt, len - 3).expect("truncate");
+    match recover(&io, &dir) {
+        Err(StoreError::Corrupt { file, .. }) => assert_eq!(file, "ckpt-000001.ckpt"),
+        other => panic!("expected a located Corrupt error, got {other:?}"),
+    }
+}
+
+#[test]
+fn segment_numbering_gap_is_a_layout_error() {
+    let (io, dir, _engine, _) = build(10, 4); // segments 0, 1, 2 on disk
+    io.remove_file(&dir.join(segment_file_name(1)))
+        .expect("remove");
+    match recover(&io, &dir) {
+        Err(StoreError::Layout(m)) => {
+            assert!(
+                m.contains(&segment_file_name(1)),
+                "error names the hole: {m}"
+            )
+        }
+        other => panic!("expected a Layout error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_index_under_a_non_canonical_name_is_rejected() {
+    let (io, dir, _engine, _) = build(6, 4);
+    // `seg-0000001.log` aliases index 1 under a second spelling; the
+    // scan refuses to guess which file is authoritative.
+    io.append(&dir.join("seg-0000001.log"), b"imposter")
+        .expect("write alias");
+    match recover(&io, &dir) {
+        Err(StoreError::Layout(m)) => assert!(m.contains("seg-0000001.log"), "{m}"),
+        other => panic!("expected a Layout error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_file_names_are_rejected() {
+    let (io, dir, _engine, _) = build(4, 0);
+    io.append(&dir.join("notes.txt"), b"scribbles")
+        .expect("write");
+    match recover(&io, &dir) {
+        Err(StoreError::Layout(m)) => assert!(m.contains("notes.txt"), "{m}"),
+        other => panic!("expected a Layout error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_sealed_segment_is_a_located_error() {
+    let (io, dir, _engine, _) = build(10, 4);
+    let victim = dir.join(segment_file_name(1));
+    io.truncate(&victim, 0).expect("truncate");
+    match recover(&io, &dir) {
+        Err(StoreError::Corrupt { file, .. }) => assert_eq!(file, segment_file_name(1)),
+        other => panic!("expected a located Corrupt error, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_checkpoint_bytes_are_a_located_error() {
+    let (io, dir, _engine, _) = build(10, 4);
+    let ckpt = dir.join("ckpt-000002.ckpt");
+    let len = io.file_len(&ckpt).expect("checkpoint exists") as u64;
+    io.truncate(&ckpt, 0).expect("wipe");
+    io.append(&ckpt, &vec![0xA5; len as usize])
+        .expect("garbage");
+    match recover(&io, &dir) {
+        Err(StoreError::Corrupt { file, .. }) => assert_eq!(file, "ckpt-000002.ckpt"),
+        other => panic!("expected a located Corrupt error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_directory_is_a_layout_error_and_missing_dir_is_io() {
+    let io = MemIo::new();
+    let dir = Path::new("/store");
+    assert!(matches!(recover(&io, dir), Err(StoreError::Io { .. })));
+    io.create_dir_all(dir).expect("mkdir");
+    assert!(matches!(recover(&io, dir), Err(StoreError::Layout(_))));
+}
+
+#[test]
+fn tmp_files_are_ignored_and_removed_on_open() {
+    let (io, dir, engine, _) = build(8, 4);
+    io.append(&dir.join("ckpt-000009.ckpt.tmp"), b"\xff\xfe interrupted")
+        .expect("leftover tmp");
+    let recovered = recover(&io, &dir).expect("tmp ignored");
+    assert_eq!(recovered.state_digest(), engine.state_digest());
+    let (_store, report) =
+        DurableStore::open(Arc::clone(&io) as Arc<dyn StoreIo>, &dir).expect("open");
+    assert!(report.files_removed >= 1);
+    assert!(io.file_len(&dir.join("ckpt-000009.ckpt.tmp")).is_none());
+}
+
+#[test]
+fn create_refuses_a_directory_with_history() {
+    let (io, dir, _engine, _) = build(3, 0);
+    let err = DurableStore::create(Arc::clone(&io) as Arc<dyn StoreIo>, &dir, &config())
+        .expect_err("create over history");
+    assert!(matches!(err, StoreError::Layout(_)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Truncating the open segment file at ANY byte recovers a valid
+    /// prefix of the acknowledged history: the recovered journal text
+    /// equals one of the states captured during the honest run, and the
+    /// recovered engine validates. (CRC framing means an arbitrary cut
+    /// can only ever drop whole records off the tail.)
+    #[test]
+    fn truncating_the_open_segment_anywhere_recovers_a_valid_prefix(cut_seed in 0u64..10_000) {
+        let (io, dir, _engine, texts) = build(9, 4);
+        let open_seg = dir.join(segment_file_name(2));
+        let len = io.file_len(&open_seg).expect("open segment exists") as u64;
+        let cut = cut_seed % (len + 1);
+        io.truncate(&open_seg, cut).expect("truncate");
+        let recovered = recover(&io, &dir).expect("any truncation of the open segment recovers");
+        recovered.validate().expect("recovered engine valid");
+        let text = recovered.journal().expect("journaled").to_text();
+        prop_assert!(
+            texts.contains(&text),
+            "cut at {cut}/{len} recovered a state outside the honest history"
+        );
+    }
+}

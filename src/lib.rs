@@ -45,6 +45,7 @@
 //! | [`telemetry`] | — | metrics registry, trace ring, TCP exposition |
 //! | [`engine`] | — | sharded, batched, multi-tenant scheduling service |
 //! | [`cluster`] | — | journal-shipping replication: primary/replica, fenced failover |
+//! | [`store`] | — | fsync'd on-disk journal/checkpoint store, fault injection, crash matrix |
 //! | [`sim`] | — | harness, stats, experiment binaries |
 //!
 //! # Serving layer
@@ -103,6 +104,10 @@ pub mod engine {
 pub mod cluster {
     pub use realloc_cluster::*;
 }
+/// Crash-durable on-disk store (re-export of `realloc-store`).
+pub mod store {
+    pub use realloc_store::*;
+}
 /// Simulation harness (re-export of `realloc-sim`).
 pub mod sim {
     pub use realloc_sim::*;
@@ -117,11 +122,12 @@ pub use realloc_core::{
     RequestSeq, Restorable, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
 };
 pub use realloc_engine::{
-    BackendKind, Engine, EngineConfig, EpochRecord, Journal, JournalCursor, JournalRecord, Metrics,
-    RecoverError, ReplayError, ResizeError, ResizeReport, TenantId,
+    BackendKind, DurabilitySink, Engine, EngineConfig, EpochRecord, Journal, JournalCursor,
+    JournalRecord, Metrics, RecoverError, ReplayError, ResizeError, ResizeReport, TenantId,
 };
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
+pub use realloc_store::{DurableStore, FaultIo, FsIo, MemIo, RecoverFromDir, StoreError, StoreIo};
 pub use realloc_telemetry::{
     fetch_metrics, fetch_trace, labeled, parse_sample, Clock, ObsClient, ObsServer, Severity,
     Telemetry,
