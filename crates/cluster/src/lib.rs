@@ -28,7 +28,14 @@
 //!   [`transport::channel`] for tests and benches, and the
 //!   length-prefixed TCP transport ([`tcp::ReplicaServer`] /
 //!   [`tcp::PrimaryLink`]) with a threaded accept loop — `std::net`
-//!   only, no external dependencies.
+//!   only, no external dependencies. The TCP link is **pipelined**: up
+//!   to [`tcp::LinkConfig::window`] frames in flight, cumulative
+//!   batched acks, explicit backpressure, and a bounded
+//!   [`FrameSink::drain`] as the per-link commit barrier;
+//! * **quorum group commit**: a [`ReplicationGroup`] fans the stream
+//!   out to N links and acknowledges the client once ≥ quorum replicas
+//!   have acked ([`ReplicationGroup::commit`]), with per-link repair
+//!   and a committed-sequence durability floor.
 //!
 //! # Quickstart
 //!
@@ -72,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod group;
 pub mod primary;
 pub mod replica;
 pub mod tcp;
@@ -79,6 +87,7 @@ mod tele;
 pub mod transport;
 
 pub use frame::{Frame, Payload, MAX_FRAME_BYTES};
+pub use group::{GroupError, ReplicationGroup};
 pub use primary::{Primary, DEFAULT_HISTORY_FRAMES};
 pub use replica::{ApplyError, Replica};
 pub use tcp::{LinkConfig, PrimaryLink, ReplicaServer};

@@ -1,6 +1,7 @@
 //! Std-only TCP transport: length-prefixed replication frames over
 //! [`std::net::TcpStream`], with a threaded accept loop on the replica
-//! side and a synchronous per-frame acknowledgement protocol.
+//! side and a **pipelined, cumulatively acknowledged** stream on the
+//! primary side.
 //!
 //! # Wire protocol
 //!
@@ -9,39 +10,71 @@
 //! count, then that many bytes).
 //!
 //! * primary → replica: one [`Frame`] text document per wire frame.
-//! * replica → primary: one ack line per received frame — `ok <seq>`
-//!   when the frame was applied, `err <description>` when it was
-//!   rejected (fencing, sequence gap, corruption, divergence).
+//! * replica → primary: cumulative ack lines — `ok <seq>` acknowledges
+//!   **everything up to and including** `seq`, and is written at most
+//!   once per applied batch-of-frames rather than per frame; a
+//!   rejection is reported as `err <seq> <description>` (fencing,
+//!   sequence gap, corruption, divergence — `err ? <description>` when
+//!   the frame did not even parse), after first acking the applied
+//!   prefix.
 //!
-//! The ack is what makes [`PrimaryLink::send`]'s `Ok` mean
-//! *acknowledged*: the replica has durably applied the frame before the
-//! primary moves on, so "no acknowledged event is ever lost" holds
-//! across a primary crash by construction. (Throughput-minded embedders
-//! batch many events per frame — one round-trip per flush, not per
-//! request.)
+//! # Pipelining and the commit point
+//!
+//! [`PrimaryLink::send`] no longer waits for an ack: it keeps up to
+//! [`LinkConfig::window`] frames in flight and returns as soon as the
+//! frame is written (retiring any acks already on the wire without
+//! blocking). `Ok` from `send` therefore means *accepted for
+//! delivery* — the durability commit point is [`PrimaryLink::drain`]
+//! (every in-flight frame acknowledged) or, for a fan-out, the quorum
+//! barrier in [`crate::ReplicationGroup::commit`]. The replica still
+//! acks only *after* applying under its lock, so the cumulative ack is
+//! exact: "no acknowledged event is ever lost" holds across any cut of
+//! the link, with at most a window of *unacknowledged* frames needing
+//! re-ship or re-bootstrap.
+//!
+//! Backpressure is explicit: when the window is exhausted, `send`
+//! blocks until an ack frees a slot (counted in
+//! `cluster_link_backpressure_stalls_total`), while
+//! [`PrimaryLink::try_send`] returns [`TransportError::WindowFull`]
+//! instead of blocking. A bootstrap [`Payload::Snapshot`] re-anchors
+//! the sequence numbering, so it acts as a barrier: the link drains
+//! before shipping it and the cumulative-ack state restarts behind it.
 //!
 //! # Timeouts and reconnection
 //!
 //! Every link operation is bounded by a [`LinkConfig`]: connects use
-//! [`TcpStream::connect_timeout`], reads and writes carry socket
-//! timeouts, so a hung replica fails a send instead of wedging the
-//! primary forever. After a failed send the connection is dropped; the
-//! **next** send redials with bounded exponential backoff
-//! ([`LinkConfig::backoff_base`] doubling up to
-//! [`LinkConfig::backoff_cap`], at most
-//! [`LinkConfig::reconnect_attempts`] dials). The failed frame is *not*
-//! resent automatically — the replica acks per sequence number, so the
-//! embedder decides between retrying the frame (idempotent: a duplicate
-//! seq is rejected as a gap in the other direction) and falling back to
-//! [`crate::Primary::frames_since`] / [`crate::Primary::bootstrap`],
-//! exactly as with any other rejected send.
+//! [`TcpStream::connect_timeout`], writes carry socket timeouts, and
+//! every wait for acks — a full [`PrimaryLink::drain`] as well as a
+//! window-full stall inside `send` — is bounded by
+//! [`LinkConfig::drain_timeout`] **in total**, not per ack, so a
+//! stalled replica fails the drain with a typed
+//! [`TransportError::DrainTimeout`] (counted in
+//! `cluster_link_drain_timeouts_total`) instead of wedging the primary
+//! one read-timeout at a time. After any failed operation the
+//! connection is dropped — a pipelined stream is in an unknown state
+//! once anything goes wrong — and the **next** send redials with
+//! bounded exponential backoff ([`LinkConfig::backoff_base`] doubling
+//! up to [`LinkConfig::backoff_cap`], at most
+//! [`LinkConfig::reconnect_attempts`] dials). In-flight frames are
+//! *not* resent automatically: the link remembers the last cumulative
+//! ack ([`PrimaryLink::acked_seq`]), so the embedder (or
+//! [`crate::ReplicationGroup::repair`]) re-ships from
+//! [`crate::Primary::frames_since`] or falls back to
+//! [`crate::Primary::bootstrap`].
+//!
+//! A peer that violates the ack protocol — a regressing cumulative
+//! ack, an ack above the shipped window, a garbage ack line — surfaces
+//! as a located [`TransportError::Protocol`] and drops the connection
+//! **without poisoning the window state**: `acked_seq` keeps the last
+//! honest value.
 //!
 //! # Threading
 //!
 //! [`ReplicaServer::bind`] spawns one accept-loop thread; each accepted
 //! connection gets its own handler thread that reads frames, applies
-//! them to the shared [`Replica`] under its lock, and writes acks. The
-//! server and any number of local readers share the replica via
+//! them to the shared [`Replica`] under its lock, and writes one
+//! cumulative ack per batch of frames found on the wire. The server and
+//! any number of local readers share the replica via
 //! [`ReplicaServer::replica`] — that is the read-scaling surface.
 //! Handler threads exit when their peer disconnects; the accept loop
 //! exits on [`ReplicaServer::shutdown`] (also triggered by `Drop`).
@@ -55,29 +88,33 @@
 //! local readers holding [`ReplicaServer::replica`] decide for
 //! themselves how to treat the poisoned state.
 
-use crate::frame::{Frame, MAX_FRAME_BYTES};
+use crate::frame::{Frame, Payload, MAX_FRAME_BYTES};
 use crate::replica::Replica;
 use crate::tele::LinkTele;
 use crate::transport::{FrameSink, TransportError};
 use realloc_core::textio::{read_frame, write_frame};
 use realloc_telemetry::{Counter, Telemetry};
-use std::io::{BufReader, BufWriter, Write as _};
+use std::collections::VecDeque;
+use std::io::{BufRead as _, BufReader, BufWriter, ErrorKind, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cap on one ack frame (a short status line).
 const MAX_ACK_BYTES: u32 = 4096;
 
-/// Socket and retry policy for a [`PrimaryLink`]; the defaults suit a
-/// LAN replica (generous timeouts, sub-second backoff).
+/// Socket, window, and retry policy for a [`PrimaryLink`]; the defaults
+/// suit a LAN replica (generous timeouts, a 32-frame pipeline,
+/// sub-second backoff).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LinkConfig {
     /// Bound on establishing a connection.
     pub connect_timeout: Duration,
-    /// Socket read timeout — bounds the wait for each ack.
+    /// Socket read timeout — bounds each *individual* wait inside an
+    /// ack read; the total wait for a drain or window stall is bounded
+    /// by [`LinkConfig::drain_timeout`].
     pub read_timeout: Duration,
     /// Socket write timeout — bounds each frame write.
     pub write_timeout: Duration,
@@ -88,6 +125,14 @@ pub struct LinkConfig {
     /// Dial attempts per reconnect (a send that needs a connection
     /// fails after this many dials; the next send starts over).
     pub reconnect_attempts: u32,
+    /// Maximum unacknowledged frames in flight before `send` blocks
+    /// (or [`PrimaryLink::try_send`] returns
+    /// [`TransportError::WindowFull`]). Treated as at least 1.
+    pub window: usize,
+    /// Total bound on waiting for the pipeline to drain — across a
+    /// whole [`PrimaryLink::drain`] or a window-full stall, not per
+    /// ack. Expiry surfaces as [`TransportError::DrainTimeout`].
+    pub drain_timeout: Duration,
 }
 
 impl Default for LinkConfig {
@@ -99,6 +144,8 @@ impl Default for LinkConfig {
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
             reconnect_attempts: 5,
+            window: 32,
+            drain_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -166,6 +213,10 @@ impl ReplicaServer {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Acks are tiny and the primary may be idle waiting
+                    // for them: Nagle + delayed-ACK would stall every
+                    // pipelined batch by an RTT timer.
+                    stream.set_nodelay(true).ok();
                     let conn_replica = Arc::clone(&accept_replica);
                     let conn_poisoned = Arc::clone(&accept_poisoned);
                     // Handler threads are detached: they exit when the
@@ -235,9 +286,105 @@ impl Drop for ReplicaServer {
     }
 }
 
-/// One connection: read frame → parse → apply → ack, until disconnect.
-/// A poisoned replica lock drops the connection (counted) instead of
-/// propagating the panic; see the module docs.
+/// Outcome of handling one inbound frame on the replica side.
+enum Handled {
+    /// Applied; carry the seq into the batch's cumulative ack.
+    Applied(u64),
+    /// The replica lock was poisoned: drop the connection (counted).
+    Poisoned,
+    /// Parse failure or replica rejection: the ready-to-send `err` line.
+    Refused(String),
+}
+
+/// Parses and applies one frame payload under the replica lock.
+fn handle_frame(payload: &[u8], replica: &Arc<Mutex<Replica>>) -> Handled {
+    let parsed = std::str::from_utf8(payload)
+        .map_err(|e| format!("frame is not UTF-8: {e}"))
+        .and_then(|text| Frame::parse(text).map_err(|e| e.to_string()));
+    match parsed {
+        Ok(frame) => {
+            let Ok(mut guard) = replica.lock() else {
+                // Another handler panicked while holding the lock: the
+                // replica's state is suspect. Degrade — drop this
+                // connection without acking (the primary re-ships or
+                // re-bootstraps elsewhere) rather than panic the whole
+                // server.
+                return Handled::Poisoned;
+            };
+            match guard.apply(&frame) {
+                Ok(()) => Handled::Applied(frame.seq),
+                Err(e) => Handled::Refused(format!("err {} {e}", frame.seq)),
+            }
+        }
+        Err(e) => Handled::Refused(format!("err ? {e}")),
+    }
+}
+
+/// Writes the batch's pending cumulative ack (if any) and flushes.
+fn flush_ack(writer: &mut BufWriter<TcpStream>, hi: Option<u64>) -> std::io::Result<()> {
+    if let Some(seq) = hi {
+        write_frame(writer, format!("ok {seq}").as_bytes())?;
+    }
+    writer.flush()
+}
+
+/// What the handler found when looking for more inbound work without
+/// blocking.
+enum Pending {
+    /// A complete frame was already on the wire.
+    Frame(Vec<u8>),
+    /// Nothing complete yet — end the batch, ack, and block again.
+    NotYet,
+    /// The peer is gone or the socket failed.
+    Gone,
+}
+
+/// Consumes the next frame **only if it is already fully buffered** (or
+/// arrives on a single non-blocking refill); never blocks and never
+/// leaves the stream mid-frame. Over-cap lengths are left unconsumed —
+/// the caller's next blocking read surfaces the framing error after the
+/// applied prefix has been acked.
+fn next_pending_frame(reader: &mut BufReader<TcpStream>) -> Pending {
+    loop {
+        let buf = reader.buffer();
+        if buf.len() >= 4 {
+            let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+            if len > MAX_FRAME_BYTES || (buf.len() - 4) < len as usize {
+                return Pending::NotYet;
+            }
+            // Fully buffered: read_frame cannot touch the socket.
+            return match read_frame(reader, MAX_FRAME_BYTES) {
+                Ok(Some(p)) => Pending::Frame(p),
+                Ok(None) | Err(_) => Pending::Gone,
+            };
+        }
+        if !buf.is_empty() {
+            return Pending::NotYet; // partial length prefix
+        }
+        if reader.get_ref().set_nonblocking(true).is_err() {
+            return Pending::Gone;
+        }
+        let refill = reader.fill_buf().map(|b| b.len());
+        if reader.get_ref().set_nonblocking(false).is_err() {
+            return Pending::Gone;
+        }
+        match refill {
+            Ok(0) => return Pending::Gone,
+            Ok(_) => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Pending::NotYet
+            }
+            Err(_) => return Pending::Gone,
+        }
+    }
+}
+
+/// One connection: block for a frame, then apply every frame already on
+/// the wire as one batch, acking the applied prefix with a single
+/// cumulative `ok <seq>`. Rejections flush the pending ack first, then
+/// an `err <seq> <detail>` line — acked always ⊆ applied. A poisoned
+/// replica lock drops the connection (counted) instead of propagating
+/// the panic; see the module docs.
 fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>, poisoned: Arc<PoisonCount>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -245,52 +392,72 @@ fn serve_connection(stream: TcpStream, replica: Arc<Mutex<Replica>>, poisoned: A
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
     loop {
-        let payload = match read_frame(&mut reader, MAX_FRAME_BYTES) {
+        // Block for the first frame of a batch.
+        let mut payload = match read_frame(&mut reader, MAX_FRAME_BYTES) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // peer gone
+            Ok(None) | Err(_) => return, // peer gone or framing broken
         };
-        let parsed = std::str::from_utf8(&payload)
-            .map_err(|e| format!("frame is not UTF-8: {e}"))
-            .and_then(|text| Frame::parse(text).map_err(|e| e.to_string()));
-        let ack = match parsed {
-            Ok(frame) => {
-                let seq = frame.seq;
-                let Ok(mut guard) = replica.lock() else {
-                    // Another handler panicked while holding the lock:
-                    // the replica's state is suspect. Degrade — drop
-                    // this connection without acking (the primary
-                    // re-sends or re-bootstraps elsewhere) rather than
-                    // panic the whole server.
+        let mut applied_hi: Option<u64> = None;
+        loop {
+            match handle_frame(&payload, &replica) {
+                Handled::Applied(seq) => applied_hi = Some(seq),
+                Handled::Poisoned => {
                     poisoned.record();
                     return;
-                };
-                match guard.apply(&frame) {
-                    Ok(()) => format!("ok {seq}"),
-                    Err(e) => format!("err {e}"),
+                }
+                Handled::Refused(line) => {
+                    // Ack the applied prefix before reporting the
+                    // rejection so the primary retires exactly what
+                    // landed.
+                    if flush_ack(&mut writer, applied_hi.take()).is_err() {
+                        return;
+                    }
+                    if write_frame(&mut writer, line.as_bytes()).is_err() || writer.flush().is_err()
+                    {
+                        return;
+                    }
                 }
             }
-            Err(e) => format!("err {e}"),
-        };
-        if write_frame(&mut writer, ack.as_bytes()).is_err() || writer.flush().is_err() {
+            match next_pending_frame(&mut reader) {
+                Pending::Frame(p) => payload = p,
+                Pending::NotYet => break,
+                Pending::Gone => {
+                    let _ = flush_ack(&mut writer, applied_hi.take());
+                    return;
+                }
+            }
+        }
+        if flush_ack(&mut writer, applied_hi).is_err() {
             return;
         }
     }
 }
 
-/// Primary-side link to one remote replica: sends a frame, waits for the
-/// ack. Socket operations are bounded by the link's [`LinkConfig`]; a
-/// failed send drops the connection and the next send redials with
-/// exponential backoff (see the module docs — failed frames are not
-/// resent automatically). Dropping the link closes the connection (the
-/// replica's handler thread exits).
+/// Primary-side link to one remote replica: a pipelined frame stream
+/// with up to [`LinkConfig::window`] unacknowledged frames in flight
+/// and cumulative acks (see the module docs). `Ok` from [`send`] means
+/// *accepted for delivery*; [`drain`] is the per-link commit barrier.
+/// Socket operations are bounded by the link's [`LinkConfig`]; any
+/// failed operation drops the connection and the next send redials with
+/// exponential backoff — in-flight frames are not resent automatically,
+/// but [`PrimaryLink::acked_seq`] survives the drop so the embedder
+/// knows exactly where to resume. Dropping the link closes the
+/// connection (the replica's handler thread exits).
+///
+/// [`send`]: FrameSink::send
+/// [`drain`]: FrameSink::drain
 #[derive(Debug)]
 pub struct PrimaryLink {
-    /// The live connection, absent after a send failure until the next
-    /// send redials.
+    /// The live connection, absent after a failure until the next send
+    /// redials.
     conn: Option<Conn>,
     /// The replica's resolved address (redial target, telemetry label).
     peer: SocketAddr,
     config: LinkConfig,
+    /// Highest cumulatively acknowledged sequence. Survives connection
+    /// drops (it is the resume point) and is never moved by a
+    /// protocol-violating ack; reset by a re-anchoring snapshot send.
+    acked: Option<u64>,
     /// Per-link instruments ([`PrimaryLink::attach_telemetry`]), labeled
     /// `replica="<peer>"`.
     tele: Option<Box<LinkTele>>,
@@ -300,6 +467,17 @@ pub struct PrimaryLink {
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Sequences written on this connection and not yet acknowledged,
+    /// oldest first, with their send timestamps (0 without telemetry).
+    inflight: VecDeque<(u64, u64)>,
+    /// Highest cumulative ack received on this connection — the
+    /// regression guard for hostile acks.
+    conn_acked: Option<u64>,
+    /// Staging buffer owning the ack framing state: every byte the
+    /// reader picks up is moved here, and complete length-prefixed ack
+    /// frames are carved off the front. A read timeout can therefore
+    /// never strand a partial frame — its bytes wait here for the rest.
+    ackbuf: Vec<u8>,
 }
 
 impl PrimaryLink {
@@ -308,8 +486,9 @@ impl PrimaryLink {
         Self::connect_with(addr, LinkConfig::default())
     }
 
-    /// Connects with an explicit timeout/backoff policy. The initial
-    /// dial gets the same bounded-backoff retry loop as reconnects.
+    /// Connects with an explicit timeout/window/backoff policy. The
+    /// initial dial gets the same bounded-backoff retry loop as
+    /// reconnects.
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         config: LinkConfig,
@@ -324,6 +503,7 @@ impl PrimaryLink {
             conn: None,
             peer,
             config,
+            acked: None,
             tele: None,
         };
         link.redial()?;
@@ -336,23 +516,32 @@ impl PrimaryLink {
     }
 
     /// Whether the link currently holds a live connection (false after
-    /// a failed send, until the next send redials).
+    /// a failure, until the next send redials).
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
     }
 
-    /// This link's timeout/backoff policy.
+    /// This link's timeout/window/backoff policy.
     pub fn config(&self) -> &LinkConfig {
         &self.config
     }
 
+    /// Sends without blocking on a full window: returns
+    /// [`TransportError::WindowFull`] when [`LinkConfig::window`]
+    /// frames are already unacknowledged (after retiring any acks
+    /// waiting on the wire). Otherwise identical to [`FrameSink::send`].
+    pub fn try_send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.send_impl(frame, false)
+    }
+
     /// Attaches per-link instruments, labeled with this link's replica
     /// address: bytes shipped, ack round-trip latency, the highest
-    /// acknowledged sequence, send errors, and reconnect dials. A
-    /// registry watching a whole fan-out distinguishes links by the
-    /// `replica` label — the per-replica lag a poller reads is the
-    /// primary's `cluster_next_seq − 1` minus this link's
-    /// `cluster_link_acked_seq` (or the replica's own
+    /// acknowledged sequence, the in-flight window depth, cumulative
+    /// ack batch sizes, backpressure stalls, drain timeouts, send
+    /// errors, and reconnect dials. A registry watching a whole fan-out
+    /// distinguishes links by the `replica` label — the per-replica lag
+    /// a poller reads is the primary's `cluster_next_seq − 1` minus
+    /// this link's `cluster_link_acked_seq` (or the replica's own
     /// `cluster_replica_last_seq`). A disabled handle detaches.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.tele = LinkTele::build(telemetry, &self.peer.to_string());
@@ -368,6 +557,9 @@ impl PrimaryLink {
         Ok(Conn {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
+            inflight: VecDeque::new(),
+            conn_acked: None,
+            ackbuf: Vec::new(),
         })
     }
 
@@ -385,6 +577,7 @@ impl PrimaryLink {
                     self.conn = Some(conn);
                     if let Some(tele) = &self.tele {
                         tele.reconnects.inc();
+                        tele.window_inflight.set(0);
                     }
                     return Ok(());
                 }
@@ -395,12 +588,216 @@ impl PrimaryLink {
             std::io::Error::new(std::io::ErrorKind::TimedOut, "no dial attempts configured")
         }))
     }
-}
 
-impl FrameSink for PrimaryLink {
-    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        let text = frame.to_text();
-        let t0 = self.tele.as_ref().map(|t| t.t.now_nanos());
+    /// The effective window (config clamped to at least 1).
+    fn window(&self) -> usize {
+        self.config.window.max(1)
+    }
+
+    /// Drops the connection after a failure, counting it. The link's
+    /// `acked` state is deliberately left untouched — it is the honest
+    /// resume point, whatever the peer just did.
+    fn fail(&mut self, e: TransportError) -> TransportError {
+        if let Some(tele) = &self.tele {
+            tele.send_errors.inc();
+            if matches!(e, TransportError::DrainTimeout { .. }) {
+                tele.drain_timeouts.inc();
+            }
+            tele.window_inflight.set(0);
+        }
+        self.conn = None;
+        e
+    }
+
+    /// Consumes one ack frame **only if it is already fully buffered**;
+    /// never blocks and never leaves the stream mid-frame.
+    fn take_buffered_ack(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let Some(conn) = self.conn.as_mut() else {
+            return Ok(None);
+        };
+        // Stage everything the reader picked up. The reader's buffer is
+        // always left empty, so the next `fill_buf` really reads from
+        // the socket instead of handing back a stranded partial frame.
+        let buffered = conn.reader.buffer().len();
+        if buffered > 0 {
+            conn.ackbuf.extend_from_slice(conn.reader.buffer());
+            conn.reader.consume(buffered);
+        }
+        if conn.ackbuf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(conn.ackbuf[..4].try_into().expect("4 bytes"));
+        if len > MAX_ACK_BYTES {
+            return Err(TransportError::Protocol(format!(
+                "ack frame of {len} bytes exceeds the {MAX_ACK_BYTES}-byte cap"
+            )));
+        }
+        let total = 4 + len as usize;
+        if conn.ackbuf.len() < total {
+            return Ok(None);
+        }
+        let payload = conn.ackbuf[4..total].to_vec();
+        conn.ackbuf.drain(..total);
+        Ok(Some(payload))
+    }
+
+    /// Validates and applies one cumulative ack line, retiring the
+    /// acknowledged prefix of the in-flight window. Hostile acks —
+    /// regressing, above the shipped window, unsolicited, or plain
+    /// garbage — return a located [`TransportError::Protocol`] without
+    /// touching `acked`.
+    fn process_ack(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let line = std::str::from_utf8(payload)
+            .map_err(|e| TransportError::Protocol(format!("ack is not UTF-8: {e}")))?;
+        if let Some(detail) = line.strip_prefix("err ") {
+            return Err(TransportError::Rejected(detail.to_string()));
+        }
+        let Some(rest) = line.strip_prefix("ok ") else {
+            return Err(TransportError::Protocol(format!(
+                "malformed ack line '{line}'"
+            )));
+        };
+        let seq: u64 = rest
+            .parse()
+            .map_err(|_| TransportError::Protocol(format!("malformed ack sequence in '{line}'")))?;
+        let now = self.tele.as_ref().map_or(0, |t| t.t.now_nanos());
+        let conn = self.conn.as_mut().ok_or(TransportError::Closed)?;
+        if let Some(acked) = conn.conn_acked {
+            if seq <= acked {
+                return Err(TransportError::Protocol(format!(
+                    "regressing ack {seq} (cumulative ack already at {acked})"
+                )));
+            }
+        }
+        let Some(&(newest, _)) = conn.inflight.back() else {
+            return Err(TransportError::Protocol(format!(
+                "unsolicited ack {seq} with nothing in flight"
+            )));
+        };
+        if seq > newest {
+            return Err(TransportError::Protocol(format!(
+                "ack {seq} is above the shipped window (newest in flight: {newest})"
+            )));
+        }
+        let mut retired = 0u64;
+        let mut matched = false;
+        while let Some(&(s, t0)) = conn.inflight.front() {
+            if s > seq {
+                break;
+            }
+            conn.inflight.pop_front();
+            retired += 1;
+            matched = s == seq;
+            if let Some(tele) = &self.tele {
+                tele.ack_rtt_nanos.record(now.saturating_sub(t0));
+            }
+        }
+        if !matched {
+            return Err(TransportError::Protocol(format!(
+                "ack {seq} matches no shipped frame"
+            )));
+        }
+        conn.conn_acked = Some(seq);
+        self.acked = Some(seq);
+        if let Some(tele) = &self.tele {
+            tele.acked_seq.set(seq);
+            tele.ack_batch_size.record(retired);
+            tele.window_inflight
+                .set(self.conn.as_ref().map_or(0, |c| c.inflight.len()) as u64);
+        }
+        Ok(())
+    }
+
+    /// Retires every ack already on the wire without ever blocking.
+    fn pump(&mut self) -> Result<(), TransportError> {
+        loop {
+            if self.in_flight() == 0 {
+                return Ok(());
+            }
+            if let Some(payload) = self.take_buffered_ack()? {
+                self.process_ack(&payload)?;
+                continue;
+            }
+            let Some(conn) = self.conn.as_mut() else {
+                return Ok(());
+            };
+            conn.reader
+                .get_ref()
+                .set_nonblocking(true)
+                .map_err(TransportError::Io)?;
+            let refill = conn.reader.fill_buf().map(|b| b.len());
+            conn.reader
+                .get_ref()
+                .set_nonblocking(false)
+                .map_err(TransportError::Io)?;
+            match refill {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(_) => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(())
+                }
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+    }
+
+    /// Blocks until one ack is processed, bounded by `deadline` (the
+    /// caller's share of [`LinkConfig::drain_timeout`]). Ack framing
+    /// state lives in the connection's staging buffer, so a timeout
+    /// mid-frame strands nothing — the partial frame's bytes wait
+    /// there for the rest.
+    fn wait_ack(&mut self, deadline: Instant) -> Result<(), TransportError> {
+        loop {
+            if let Some(payload) = self.take_buffered_ack()? {
+                return self.process_ack(&payload);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::DrainTimeout {
+                    waited: self.config.drain_timeout,
+                    in_flight: self.in_flight(),
+                });
+            }
+            let per_read = self
+                .config
+                .read_timeout
+                .min(deadline - now)
+                .max(Duration::from_millis(1));
+            let Some(conn) = self.conn.as_mut() else {
+                return Err(TransportError::Closed);
+            };
+            conn.reader
+                .get_ref()
+                .set_read_timeout(Some(per_read))
+                .map_err(TransportError::Io)?;
+            match conn.reader.fill_buf() {
+                Ok([]) => return Err(TransportError::Closed),
+                Ok(_) => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    continue
+                }
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+    }
+
+    fn drain_impl(&mut self) -> Result<Option<u64>, TransportError> {
+        self.drain_to_impl(u64::MAX)
+    }
+
+    /// Waits until the cumulative ack reaches `seq` or the pipe is
+    /// empty, whichever comes first, bounded by one drain timeout.
+    fn drain_to_impl(&mut self, seq: u64) -> Result<Option<u64>, TransportError> {
+        let deadline = Instant::now() + self.config.drain_timeout;
+        while self.in_flight() > 0 && self.acked.is_none_or(|a| a < seq) {
+            if let Err(e) = self.wait_ack(deadline) {
+                return Err(self.fail(e));
+            }
+        }
+        Ok(self.acked)
+    }
+
+    fn send_impl(&mut self, frame: &Frame, block: bool) -> Result<(), TransportError> {
         if self.conn.is_none() {
             self.redial().map_err(|e| {
                 if let Some(tele) = &self.tele {
@@ -409,51 +806,85 @@ impl FrameSink for PrimaryLink {
                 TransportError::Io(e)
             })?;
         }
-        let conn = self.conn.as_mut().expect("redialed above");
-        let result = send_text(&mut conn.reader, &mut conn.writer, &text);
-        if let Some(tele) = &self.tele {
-            match &result {
-                Ok(()) => {
-                    tele.bytes_shipped.add(text.len() as u64);
-                    tele.ack_rtt_nanos.record(
-                        tele.t
-                            .now_nanos()
-                            .saturating_sub(t0.expect("stamped above")),
-                    );
-                    tele.acked_seq.set(frame.seq);
-                }
-                Err(_) => tele.send_errors.inc(),
+        if matches!(frame.payload, Payload::Snapshot { .. }) {
+            // A snapshot re-anchors the sequence numbering: drain the
+            // old stream first and restart the cumulative-ack state
+            // behind the barrier.
+            if self.in_flight() > 0 {
+                self.drain_impl()?;
+            }
+            if let Some(conn) = self.conn.as_mut() {
+                conn.conn_acked = None;
+            }
+            self.acked = None;
+        }
+        if self.in_flight() >= self.window() {
+            // The window looks full — retire anything already on the
+            // wire before deciding to stall (or refuse).
+            if let Err(e) = self.pump() {
+                return Err(self.fail(e));
             }
         }
-        if matches!(
-            result,
-            Err(TransportError::Io(_)) | Err(TransportError::Closed)
-        ) {
-            // The stream is in an unknown state (the frame may or may
-            // not have been applied): drop it. The next send redials.
-            self.conn = None;
+        if self.in_flight() >= self.window() {
+            if !block {
+                return Err(TransportError::WindowFull {
+                    window: self.window(),
+                });
+            }
+            if let Some(tele) = &self.tele {
+                tele.backpressure_stalls.inc();
+            }
+            let deadline = Instant::now() + self.config.drain_timeout;
+            while self.in_flight() >= self.window() {
+                if let Err(e) = self.wait_ack(deadline) {
+                    return Err(self.fail(e));
+                }
+            }
         }
-        result
+        let text = frame.to_text();
+        let t0 = self.tele.as_ref().map_or(0, |t| t.t.now_nanos());
+        {
+            let conn = self.conn.as_mut().expect("live connection");
+            if let Err(e) =
+                write_frame(&mut conn.writer, text.as_bytes()).and_then(|()| conn.writer.flush())
+            {
+                return Err(self.fail(TransportError::Io(e)));
+            }
+            conn.inflight.push_back((frame.seq, t0));
+        }
+        if let Some(tele) = &self.tele {
+            tele.bytes_shipped.add(text.len() as u64);
+            tele.window_inflight.set(self.in_flight() as u64);
+        }
+        // Opportunistically retire any acks already on the wire. An
+        // error here (rejection, protocol violation, dead peer) may
+        // concern an *earlier* in-flight frame — pipelined errors
+        // surface on whichever call touches the link next.
+        if let Err(e) = self.pump() {
+            return Err(self.fail(e));
+        }
+        Ok(())
     }
 }
 
-/// The un-instrumented send/ack round trip ([`PrimaryLink::send`] wraps
-/// this with the per-link telemetry).
-fn send_text(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    text: &str,
-) -> Result<(), TransportError> {
-    write_frame(writer, text.as_bytes())?;
-    writer.flush()?;
-    let Some(ack) = read_frame(reader, MAX_ACK_BYTES)? else {
-        return Err(TransportError::Closed);
-    };
-    let ack = String::from_utf8(ack)
-        .map_err(|e| TransportError::Rejected(format!("ack is not UTF-8: {e}")))?;
-    match ack.split_once(' ') {
-        Some(("ok", _)) => Ok(()),
-        Some(("err", detail)) => Err(TransportError::Rejected(detail.to_string())),
-        _ => Err(TransportError::Rejected(format!("malformed ack '{ack}'"))),
+impl FrameSink for PrimaryLink {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.send_impl(frame, true)
+    }
+
+    fn drain(&mut self) -> Result<Option<u64>, TransportError> {
+        self.drain_impl()
+    }
+
+    fn drain_to(&mut self, seq: u64) -> Result<Option<u64>, TransportError> {
+        self.drain_to_impl(seq)
+    }
+
+    fn acked_seq(&self) -> Option<u64> {
+        self.acked
+    }
+
+    fn in_flight(&self) -> usize {
+        self.conn.as_ref().map_or(0, |c| c.inflight.len())
     }
 }

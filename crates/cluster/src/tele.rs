@@ -104,7 +104,11 @@ impl ReplicaTele {
 }
 
 /// Per-link instruments, labeled with the replica's address; held by
-/// [`crate::tcp::PrimaryLink`].
+/// [`crate::tcp::PrimaryLink`]. The pipelined link adds the in-flight
+/// window depth (`cluster_link_window_inflight`), the cumulative ack
+/// batch size (`cluster_ack_batch_size` — frames retired per ack),
+/// window-exhaustion stalls (`cluster_link_backpressure_stalls_total`),
+/// and bounded-drain expiries (`cluster_link_drain_timeouts_total`).
 #[derive(Debug)]
 pub(crate) struct LinkTele {
     /// The attached registry (for ack RTT clock reads).
@@ -112,6 +116,10 @@ pub(crate) struct LinkTele {
     pub bytes_shipped: Counter,
     pub ack_rtt_nanos: Histo,
     pub acked_seq: Gauge,
+    pub window_inflight: Gauge,
+    pub ack_batch_size: Histo,
+    pub backpressure_stalls: Counter,
+    pub drain_timeouts: Counter,
     pub send_errors: Counter,
     pub reconnects: Counter,
 }
@@ -127,8 +135,47 @@ impl LinkTele {
             bytes_shipped: t.counter(labeled("cluster_link_bytes_shipped_total", "replica", addr)),
             ack_rtt_nanos: t.histogram(labeled("cluster_link_ack_rtt_nanos", "replica", addr)),
             acked_seq: t.gauge(labeled("cluster_link_acked_seq", "replica", addr)),
+            window_inflight: t.gauge(labeled("cluster_link_window_inflight", "replica", addr)),
+            ack_batch_size: t.histogram(labeled("cluster_ack_batch_size", "replica", addr)),
+            backpressure_stalls: t.counter(labeled(
+                "cluster_link_backpressure_stalls_total",
+                "replica",
+                addr,
+            )),
+            drain_timeouts: t.counter(labeled(
+                "cluster_link_drain_timeouts_total",
+                "replica",
+                addr,
+            )),
             send_errors: t.counter(labeled("cluster_link_send_errors_total", "replica", addr)),
             reconnects: t.counter(labeled("cluster_link_reconnects_total", "replica", addr)),
+            t: t.clone(),
+        }))
+    }
+}
+
+/// Group-commit instruments; held by [`crate::ReplicationGroup`].
+#[derive(Debug)]
+pub(crate) struct GroupTele {
+    pub committed_seq: Gauge,
+    pub commits: Counter,
+    pub commit_wait_nanos: Histo,
+    pub quorum_failures: Counter,
+    /// The attached registry (for commit wait clock reads).
+    pub t: Telemetry,
+}
+
+impl GroupTele {
+    /// Resolves the group's instruments; `None` for a disabled handle.
+    pub fn build(t: &Telemetry) -> Option<Box<GroupTele>> {
+        if !t.is_enabled() {
+            return None;
+        }
+        Some(Box::new(GroupTele {
+            committed_seq: t.gauge("cluster_group_committed_seq"),
+            commits: t.counter("cluster_group_commits_total"),
+            commit_wait_nanos: t.histogram("cluster_group_commit_wait_nanos"),
+            quorum_failures: t.counter("cluster_group_quorum_failures_total"),
             t: t.clone(),
         }))
     }

@@ -1,26 +1,33 @@
 //! Pluggable frame transports.
 //!
 //! The primary produces [`Frame`]s; a [`FrameSink`] delivers them to one
-//! replica and reports whether the replica **acknowledged** applying
-//! them — acknowledgement is what the failover guarantee is stated in
-//! terms of ("no acknowledged event is ever lost"). Two implementations
-//! ship:
+//! replica. Since PR 8 delivery is **pipelined**: [`FrameSink::send`]
+//! means *accepted for delivery*, and the replica's acknowledgement
+//! catches up asynchronously — [`FrameSink::acked_seq`] reports the
+//! highest cumulatively acknowledged sequence, and [`FrameSink::drain`]
+//! blocks until every in-flight frame is acked (the commit barrier the
+//! failover guarantee — "no acknowledged event is ever lost" — is
+//! stated in terms of). Implementations:
 //!
 //! * [`LocalLink`] — an in-process link applying frames synchronously
 //!   to a shared [`Replica`] (tests, benches, same-process read
-//!   replicas).
+//!   replicas). Here `send` *is* the ack: the window is effectively 1
+//!   and `drain` never waits.
 //! * [`crate::tcp::PrimaryLink`] — length-prefixed frames over
-//!   [`std::net::TcpStream`], acknowledged per frame by the remote
+//!   [`std::net::TcpStream`] with a configurable window of unacked
+//!   frames in flight, acknowledged cumulatively by the remote
 //!   [`crate::tcp::ReplicaServer`].
 //!
 //! A plain fire-and-forget [`channel`] pair is also provided for
-//! pipelined in-process streaming (the receiver applies frames when it
-//! drains).
+//! in-process streaming without any acknowledgement (its `acked_seq` is
+//! always `None`, so it can never satisfy a quorum — use it for tees,
+//! not commits).
 
 use crate::frame::Frame;
 use crate::replica::{ApplyError, Replica};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Why a frame could not be delivered-and-acknowledged.
 #[derive(Debug)]
@@ -33,6 +40,27 @@ pub enum TransportError {
     Rejected(String),
     /// The link is closed (receiver dropped, connection gone).
     Closed,
+    /// The in-flight window is full and the caller asked not to block
+    /// (see [`crate::tcp::PrimaryLink::try_send`]).
+    WindowFull {
+        /// The configured window size that is currently exhausted.
+        window: usize,
+    },
+    /// Draining the pipeline did not complete within the configured
+    /// total bound ([`crate::tcp::LinkConfig::drain_timeout`]). The
+    /// connection is dropped; frames past the last cumulative ack are
+    /// un-acked and must be re-shipped or re-bootstrapped.
+    DrainTimeout {
+        /// How long the drain waited before giving up.
+        waited: Duration,
+        /// Frames still unacknowledged when the bound expired.
+        in_flight: usize,
+    },
+    /// The peer violated the ack protocol (a regressing cumulative ack,
+    /// an ack above the shipped window, or a garbage ack line). The
+    /// connection is dropped; the link's acknowledged-sequence state is
+    /// left exactly as it was before the bad ack.
+    Protocol(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -41,6 +69,14 @@ impl std::fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "transport I/O failed: {e}"),
             TransportError::Rejected(m) => write!(f, "replica rejected the frame: {m}"),
             TransportError::Closed => write!(f, "transport closed"),
+            TransportError::WindowFull { window } => {
+                write!(f, "in-flight window full ({window} frames unacked)")
+            }
+            TransportError::DrainTimeout { waited, in_flight } => write!(
+                f,
+                "pipeline drain timed out after {waited:?} with {in_flight} frames in flight"
+            ),
+            TransportError::Protocol(m) => write!(f, "ack protocol violation: {m}"),
         }
     }
 }
@@ -53,25 +89,75 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
-/// Delivers frames to one replica; `Ok(())` means the replica applied
-/// and acknowledged the frame.
+/// Delivers frames to one replica. `Ok(())` from [`send`] means the
+/// frame was *accepted for delivery*; the acknowledgement that makes an
+/// event durable on the replica is tracked by [`acked_seq`] and forced
+/// by [`drain`]. Synchronous sinks (where send does wait for the ack)
+/// simply keep `acked_seq` equal to the last sent sequence and let
+/// `drain` return immediately.
+///
+/// [`send`]: FrameSink::send
+/// [`acked_seq`]: FrameSink::acked_seq
+/// [`drain`]: FrameSink::drain
 pub trait FrameSink {
-    /// Sends one frame and waits for the acknowledgement.
+    /// Sends one frame. Pipelined sinks may return before the replica
+    /// acknowledges; a returned error can therefore also surface a
+    /// problem with an *earlier* in-flight frame.
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError>;
+
+    /// Blocks until every in-flight frame is acknowledged (or the
+    /// sink's drain bound expires), returning the highest acknowledged
+    /// sequence. The default suits synchronous sinks: nothing is ever
+    /// in flight, so it just reports [`FrameSink::acked_seq`].
+    fn drain(&mut self) -> Result<Option<u64>, TransportError> {
+        Ok(self.acked_seq())
+    }
+
+    /// Blocks only until the cumulative acknowledgement reaches `seq`
+    /// (or the pipeline empties), returning the new ack floor. This is
+    /// the group-commit primitive: committing through batch *i* − 1
+    /// must not wait for batch *i*'s frames that are still usefully in
+    /// flight. The default over-approximates with a full
+    /// [`FrameSink::drain`] — correct for every sink, just stronger
+    /// than required.
+    fn drain_to(&mut self, seq: u64) -> Result<Option<u64>, TransportError> {
+        let _ = seq;
+        self.drain()
+    }
+
+    /// The highest sequence the replica has cumulatively acknowledged,
+    /// `None` before any ack (or for sinks that never ack). A
+    /// re-anchoring bootstrap snapshot legitimately resets this to the
+    /// snapshot's (lower) anchor sequence.
+    fn acked_seq(&self) -> Option<u64> {
+        None
+    }
+
+    /// Frames sent but not yet acknowledged.
+    fn in_flight(&self) -> usize {
+        0
+    }
 }
 
 /// In-process synchronous link: applies each frame to a shared replica
 /// under its lock. The `Ok` of [`FrameSink::send`] *is* the replica's
-/// acknowledgement (the apply already happened).
+/// acknowledgement (the apply already happened), so [`FrameSink::drain`]
+/// never waits and [`FrameSink::acked_seq`] tracks the last applied
+/// sequence. Clones track their own acked sequence independently.
 #[derive(Clone, Debug)]
 pub struct LocalLink {
     replica: Arc<Mutex<Replica>>,
+    /// Highest sequence this handle has applied-and-acked.
+    acked: Option<u64>,
 }
 
 impl LocalLink {
     /// Links to a shared replica cell.
     pub fn new(replica: Arc<Mutex<Replica>>) -> LocalLink {
-        LocalLink { replica }
+        LocalLink {
+            replica,
+            acked: None,
+        }
     }
 
     /// The shared replica (read scaling: query it from any thread).
@@ -92,14 +178,21 @@ impl LocalLink {
 impl FrameSink for LocalLink {
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
         self.apply(frame)
-            .map_err(|e| TransportError::Rejected(e.to_string()))
+            .map_err(|e| TransportError::Rejected(e.to_string()))?;
+        self.acked = Some(frame.seq);
+        Ok(())
+    }
+
+    fn acked_seq(&self) -> Option<u64> {
+        self.acked
     }
 }
 
 /// Fire-and-forget in-process channel pair: the sink clones frames into
 /// an [`mpsc`] queue; the source hands them out for the consumer to
-/// apply. No acknowledgement — use [`LocalLink`] where the "no
-/// acknowledged event lost" contract matters.
+/// apply. No acknowledgement — `acked_seq` stays `None` forever, so a
+/// [`ChannelSink`] can never satisfy a quorum; use [`LocalLink`] or the
+/// TCP link where the "no acknowledged event lost" contract matters.
 pub fn channel() -> (ChannelSink, ChannelSource) {
     let (tx, rx) = mpsc::channel();
     (ChannelSink { tx }, ChannelSource { rx })

@@ -149,6 +149,8 @@ fn fast_config() -> LinkConfig {
         backoff_base: Duration::from_millis(2),
         backoff_cap: Duration::from_millis(8),
         reconnect_attempts: 3,
+        window: 4,
+        drain_timeout: Duration::from_millis(400),
     }
 }
 
@@ -169,9 +171,11 @@ fn connecting_to_a_dead_address_fails_bounded_not_forever() {
 }
 
 #[test]
-fn unacked_send_times_out_and_drops_the_connection() {
-    // A peer that accepts but never acks: the read timeout must fail the
-    // send instead of wedging the primary.
+fn unacked_pipeline_drain_times_out_bounded_and_typed() {
+    // A peer that accepts but never acks: the pipelined send succeeds
+    // (the frame is in flight), and it is the *drain* — bounded by
+    // `drain_timeout` in total, not per ack read — that must fail with
+    // the typed error instead of wedging the primary.
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
     let hold = std::thread::spawn(move || {
@@ -187,12 +191,64 @@ fn unacked_send_times_out_and_drops_the_connection() {
         window: Window::new(0, 4),
     });
     let (_report, frames) = primary.flush();
-    let err = link.send(&frames[0]).expect_err("no ack ever comes");
+    link.send(&frames[0])
+        .expect("pipelined send accepts the frame without an ack");
+    assert_eq!(link.in_flight(), 1);
+    let start = std::time::Instant::now();
+    let err = link.drain().expect_err("no ack ever comes");
+    let waited = start.elapsed();
     assert!(
-        matches!(err, TransportError::Io(_)),
-        "timeout surfaces as Io: {err}"
+        matches!(err, TransportError::DrainTimeout { in_flight: 1, .. }),
+        "typed timeout: {err}"
     );
-    assert!(!link.is_connected(), "failed send drops the connection");
+    // Total bound: well past drain_timeout (400ms) would mean the old
+    // per-read accumulation; well under would mean no wait at all.
+    assert!(waited >= Duration::from_millis(300), "waited {waited:?}");
+    assert!(waited < Duration::from_secs(4), "bounded total: {waited:?}");
+    assert!(!link.is_connected(), "failed drain drops the connection");
+    drop(link);
+    hold.join().expect("holder exits once the link closes");
+}
+
+#[test]
+fn window_full_send_blocks_and_try_send_reports_window_full() {
+    // Same never-acking peer, window 4: four sends fill the pipeline,
+    // try_send refuses without blocking, and a blocking send stalls
+    // until the drain bound expires.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let _ = std::io::copy(&mut stream, &mut std::io::sink());
+    });
+    let mut link = PrimaryLink::connect_with(addr, fast_config()).expect("connect");
+    let mut primary = Primary::new(Engine::new(config()), 1).expect("primary");
+    for i in 0..5u64 {
+        primary.submit(Request::Insert {
+            id: JobId(i + 1),
+            window: Window::new(0, 4),
+        });
+        primary.flush();
+    }
+    let frames = primary.frames_since(0).expect("retained");
+    assert_eq!(frames.len(), 5);
+    for frame in &frames[..4] {
+        link.send(frame).expect("within the window");
+    }
+    assert_eq!(link.in_flight(), 4, "window full");
+    let err = link.try_send(&frames[4]).expect_err("window exhausted");
+    assert!(
+        matches!(err, TransportError::WindowFull { window: 4 }),
+        "typed, non-blocking: {err}"
+    );
+    assert!(link.is_connected(), "try_send refusal is not a failure");
+    let start = std::time::Instant::now();
+    let err = link.send(&frames[4]).expect_err("stall never resolves");
+    assert!(
+        matches!(err, TransportError::DrainTimeout { .. }),
+        "blocked send hits the drain bound: {err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(4));
     drop(link);
     hold.join().expect("holder exits once the link closes");
 }
@@ -205,6 +261,7 @@ fn poisoned_replica_lock_degrades_the_connection_and_recovers_on_clear() {
     let (owed, boot) = primary.bootstrap();
     assert!(owed.is_empty());
     link.send(&boot[0]).expect("bootstrap ships");
+    link.drain().expect("bootstrap acked");
     primary.submit(Request::Insert {
         id: JobId(1),
         window: Window::new(0, 4),
@@ -220,14 +277,29 @@ fn poisoned_replica_lock_degrades_the_connection_and_recovers_on_clear() {
     });
     assert!(poisoner.join().is_err(), "the panic is the point");
 
-    // The handler drops the connection without acking; the send fails
-    // gracefully (Closed or Io — never a server panic) and is counted.
-    let err = link.send(&frames[0]).expect_err("poisoned lock degrades");
+    // The handler drops the connection without acking. The pipelined
+    // error surfaces on whichever call touches the link once the drop
+    // lands — the send's own opportunistic ack pump or the drain — and
+    // is graceful either way (Closed or Io — never a server panic,
+    // never an ack).
+    let err = link
+        .send(&frames[0])
+        .err()
+        .or_else(|| link.drain().map(|_| ()).err())
+        .expect("poisoned lock degrades");
     assert!(
-        matches!(err, TransportError::Closed | TransportError::Io(_)),
+        matches!(
+            err,
+            TransportError::Closed | TransportError::Io(_) | TransportError::DrainTimeout { .. }
+        ),
         "got {err}"
     );
     assert!(!link.is_connected());
+    assert_eq!(
+        link.acked_seq(),
+        Some(boot[0].seq),
+        "the lost frame was never acked; the cumulative ack stays at the bootstrap anchor"
+    );
     // Poll briefly: the handler thread records the drop asynchronously.
     let mut waited = 0;
     while server.handlers_poisoned() == 0 && waited < 200 {
@@ -241,6 +313,11 @@ fn poisoned_replica_lock_degrades_the_connection_and_recovers_on_clear() {
     // loop and replication resumes where it left off.
     server.replica().clear_poison();
     link.send(&frames[0]).expect("redial + resend succeeds");
+    assert_eq!(
+        link.drain().expect("resend acked"),
+        Some(frames[0].seq),
+        "cumulative ack resumes at the resent frame"
+    );
     assert!(link.is_connected());
     let replica = server.replica();
     let guard = replica.lock().expect("clean lock");
@@ -262,5 +339,6 @@ fn server_survives_a_torrent_of_garbage_frames() {
     let mut primary = Primary::new(Engine::new(config()), 1).expect("primary");
     let (_owed, boot) = primary.bootstrap();
     link.send(&boot[0]).expect("honest link unaffected");
+    assert_eq!(link.drain().expect("honest link acked"), Some(boot[0].seq));
     assert_eq!(server.handlers_poisoned(), 0);
 }

@@ -116,6 +116,11 @@ fn tcp_differential_failover_proof() {
         }
     }
 
+    // Commit barrier: the pipelined link may still have a window of
+    // frames in flight — drain so "every frame ACKNOWLEDGED by
+    // replica 1" is literally true before the crash.
+    link1.drain().unwrap();
+
     // "Crash": the primary process is gone. Everything replica 1
     // acknowledged must survive; replica 2 is partitioned and stale.
     let deposed_term = primary.term();
@@ -136,6 +141,9 @@ fn tcp_differential_failover_proof() {
     for f in &boot {
         new_link2.send(f).unwrap();
     }
+    // Barrier: replica 2 must have adopted the bumped term before the
+    // deposed primary's frames can bounce off it.
+    new_link2.drain().unwrap();
 
     // The deposed primary wakes up and keeps streaming: every frame it
     // emits now bounces off the bumped term.
@@ -144,7 +152,9 @@ fn tcp_differential_failover_proof() {
     }
     let (_, stale_frames) = primary.flush();
     assert!(!stale_frames.is_empty());
-    match link2.send(&stale_frames[0]) {
+    // Pipelined sends return before the ack: the rejection surfaces on
+    // the drain (or on the send's own ack pump, if the err raced in).
+    match link2.send(&stale_frames[0]).and_then(|()| link2.drain()) {
         Err(TransportError::Rejected(detail)) => {
             assert!(detail.contains("fenced"), "unexpected rejection: {detail}")
         }
@@ -173,6 +183,7 @@ fn tcp_differential_failover_proof() {
             new_link2.send(f).unwrap();
         }
     }
+    new_link2.drain().unwrap();
 
     // End-to-end differential proof: promoted lineage == uninterrupted
     // reference, byte for byte, and the TCP-fed replica matches both.

@@ -231,27 +231,47 @@ fn tcp_link_metrics_label_the_peer() {
         last_seq = f.seq;
     }
 
+    // Commit barrier: acks (and their RTT samples) are pipelined — the
+    // drain forces every in-flight frame to resolve before reading the
+    // instruments.
+    assert_eq!(link.drain().unwrap(), Some(last_seq));
+
     let bytes = labeled("cluster_link_bytes_shipped_total", "replica", &label);
     let rtt = labeled("cluster_link_ack_rtt_nanos", "replica", &label);
     let acked = labeled("cluster_link_acked_seq", "replica", &label);
+    let inflight = labeled("cluster_link_window_inflight", "replica", &label);
+    let batches = labeled("cluster_ack_batch_size", "replica", &label);
     let errors = labeled("cluster_link_send_errors_total", "replica", &label);
     assert_eq!(counter(&t, &bytes), shipped);
     assert_eq!(t.histogram_snapshot(&rtt).map(|h| h.count()), Some(sent));
     assert_eq!(gauge(&t, &acked), last_seq);
+    assert_eq!(gauge(&t, &inflight), 0, "drained: nothing in flight");
+    let batch_samples = t
+        .histogram_snapshot(&batches)
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert!(
+        (1..=sent).contains(&batch_samples),
+        "cumulative acks arrive batched: {batch_samples} acks for {sent} frames"
+    );
     assert_eq!(counter(&t, &errors), 0);
 
-    // Kill the server: the next send fails and only the error counter
-    // moves.
+    // Kill the server: the accept loop is gone but the connected
+    // handler lives on, so re-sending an already-acked frame is
+    // rejected (sequence regression). The rejection surfaces on the
+    // commit barrier, moves the error counter — and the optimistic
+    // pipelined write still ships bytes before the `err` comes back.
     server.shutdown();
     drop(server);
-    let mut failures = 0u64;
-    for f in &frames {
-        if link.send(f).is_err() {
-            failures += 1;
-            break;
-        }
-    }
-    assert_eq!(failures, 1, "send into a dead server must error");
+    shipped += frames[0].to_text().len() as u64;
+    let failed = link
+        .send(&frames[0])
+        .and_then(|()| link.drain().map(|_| ()));
+    assert!(failed.is_err(), "resending an acked frame must be rejected");
     assert_eq!(counter(&t, &errors), 1);
-    assert_eq!(counter(&t, &bytes), shipped, "failed sends ship no bytes");
+    assert_eq!(
+        counter(&t, &bytes),
+        shipped,
+        "the optimistic write is counted"
+    );
 }

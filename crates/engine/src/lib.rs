@@ -155,6 +155,30 @@ pub trait DurabilitySink: Send + std::fmt::Debug {
     fn sync(&mut self) -> Result<(), String>;
 }
 
+/// Flush-coalescing policy ([`Engine::set_flush_coalescing`]): lets a
+/// periodic flusher defer small batches so downstream consumers of the
+/// recorded stream — the durable tee, replication frames — see fewer,
+/// larger batches. A flush is deferred while fewer than `min_batch`
+/// requests are queued **and** fewer than `max_defer` consecutive
+/// flushes have already been deferred; the cap bounds added latency, so
+/// a trickle of requests still lands within `max_defer + 1` ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Queue depth at which a flush always proceeds.
+    pub min_batch: usize,
+    /// Consecutive deferrals before a flush proceeds regardless.
+    pub max_defer: u32,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            min_batch: 64,
+            max_defer: 4,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -232,6 +256,13 @@ pub struct Engine {
     /// Runtime-only: excluded from snapshots so replication digests stay
     /// a pure function of the replayed event stream.
     tele: Option<Box<EngineTele>>,
+    /// Flush-coalescing policy ([`Engine::set_flush_coalescing`]).
+    /// Runtime-only, like the sink and telemetry: never part of
+    /// snapshots — the recorded stream stays a pure function of which
+    /// flushes actually happened.
+    coalesce: Option<CoalesceConfig>,
+    /// Consecutive [`Engine::flush_coalesced`] calls deferred so far.
+    deferred: u32,
 }
 
 impl std::fmt::Debug for Engine {
@@ -277,6 +308,8 @@ impl Engine {
             sink: None,
             durability_error: None,
             tele: None,
+            coalesce: None,
+            deferred: 0,
         }
     }
 
@@ -469,6 +502,44 @@ impl Engine {
         self.batches += 1;
         self.append_drains(batch, &drains);
         BatchReport::from_drains(batch, &drains)
+    }
+
+    /// Installs (or with `None` removes) the flush-coalescing policy
+    /// consulted by [`Engine::flush_coalesced`]. Plain [`Engine::flush`]
+    /// is never deferred — explicit flushes, checkpoints, and barriers
+    /// always proceed. Runtime-only state: never part of snapshots.
+    pub fn set_flush_coalescing(&mut self, cfg: Option<CoalesceConfig>) {
+        self.coalesce = cfg;
+        self.deferred = 0;
+    }
+
+    /// The installed flush-coalescing policy, if any.
+    pub fn flush_coalescing(&self) -> Option<CoalesceConfig> {
+        self.coalesce
+    }
+
+    /// A flush that may *defer*: under the installed [`CoalesceConfig`],
+    /// a tick with fewer than `min_batch` requests queued returns `None`
+    /// (nothing drained, nothing journaled) until `max_defer`
+    /// consecutive deferrals have accumulated — so periodic flushers
+    /// produce fewer, larger batches for the journal, the durable tee,
+    /// and replication frames. Without a policy this is exactly
+    /// [`Engine::flush`]. An empty queue always returns `None` without
+    /// consuming a deferral (there is nothing to coalesce — and an
+    /// empty flush would still bump the batch counter, which is
+    /// digested state).
+    pub fn flush_coalesced(&mut self) -> Option<BatchReport> {
+        if self.queued() == 0 {
+            return None;
+        }
+        if let Some(cfg) = self.coalesce {
+            if self.queued() < cfg.min_batch && self.deferred < cfg.max_defer {
+                self.deferred += 1;
+                return None;
+            }
+        }
+        self.deferred = 0;
+        Some(self.flush())
     }
 
     /// The journal-append step of a flush (shared by the plain and
@@ -1505,6 +1576,8 @@ impl Restorable for Engine {
             sink: None,
             durability_error: None,
             tele: None,
+            coalesce: None,
+            deferred: 0,
         })
     }
 }

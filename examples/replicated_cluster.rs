@@ -163,15 +163,19 @@ fn main() {
             }
         }
         if i + 1 == PARTITION_FROM / 2 {
-            // Mid-stream scrape: the synchronous ack protocol means an
-            // un-partitioned replica is never behind at a batch boundary.
+            // Mid-stream scrape. Sends are pipelined (up to a window of
+            // frames in flight), so drain both links first — the drain
+            // is the commit barrier that makes "zero lag" meaningful.
+            link1.drain().expect("replica 1 drains");
+            link2.drain().expect("replica 2 drains");
             let lags = scrape("healthy", primary_obs.addr(), obs);
-            assert_eq!(lags, [0, 0], "acked replicas show zero lag");
+            assert_eq!(lags, [0, 0], "drained replicas show zero lag");
         }
     }
 
     // The partition is visible from the outside, through the registries
     // alone: replica 2 stopped acknowledging at the partition point.
+    link1.drain().expect("replica 1 drains");
     let lags = scrape("partitioned", primary_obs.addr(), obs);
     assert_eq!(lags[0], 0, "replica 1 still acknowledges everything");
     assert!(lags[1] > 0, "partitioned replica 2 must show positive lag");
@@ -208,6 +212,9 @@ fn main() {
     // Phase 2: the primary crashes. Promote replica 1 under term 2 and
     // re-bootstrap the stale replica 2 from it.
     println!("primary crashes at chunk {CRASH_AT}; promoting replica 1");
+    link1
+        .drain()
+        .expect("replica 1 acknowledged everything shipped");
     drop(link1);
     let mut promoted = server1
         .replica()
@@ -229,13 +236,21 @@ fn main() {
     for f in &boot {
         new_link2.send(f).expect("replica 2 re-bootstraps");
     }
+    // Barrier: replica 2 must have *applied* the new lineage's snapshot
+    // (and adopted term 2) before the deposed primary knocks.
+    new_link2.drain().expect("replica 2 adopts term 2");
 
     // Phase 3: the deposed primary wakes up and streams — fenced.
     for &r in chunks[CRASH_AT] {
         primary.submit(r);
     }
     let (_, stale) = primary.flush();
-    match link2.send(&stale[0]) {
+    // Pipelined sends return before the replica answers; the rejection
+    // surfaces on the commit barrier.
+    match link2
+        .send(&stale[0])
+        .and_then(|()| link2.drain().map(|_| ()))
+    {
         Err(TransportError::Rejected(detail)) => {
             println!("deposed primary fenced: {detail}");
         }
@@ -261,6 +276,7 @@ fn main() {
 
     // After failover the new lineage's registry (the promoted node's)
     // shows replica 2 fully caught up again.
+    new_link2.drain().expect("replica 2 drains");
     {
         let p = fetch_metrics(replica1_obs.addr()).expect("promoted metrics endpoint");
         let shipped = parse_sample(&p, "cluster_next_seq").unwrap_or(1) - 1;

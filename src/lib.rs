@@ -114,7 +114,8 @@ pub mod sim {
 }
 
 pub use realloc_cluster::{
-    ApplyError, ClusterError, Frame, FrameSink, Payload, Primary, Replica, TransportError,
+    ApplyError, ClusterError, Frame, FrameSink, GroupError, Payload, Primary, Replica,
+    ReplicationGroup, TransportError,
 };
 pub use realloc_core::router::Router;
 pub use realloc_core::{
@@ -122,8 +123,9 @@ pub use realloc_core::{
     RequestSeq, Restorable, ScheduleSnapshot, SingleMachineReallocator, SlotMove, Tower, Window,
 };
 pub use realloc_engine::{
-    BackendKind, DurabilitySink, Engine, EngineConfig, EpochRecord, Journal, JournalCursor,
-    JournalRecord, Metrics, RecoverError, ReplayError, ResizeError, ResizeReport, TenantId,
+    BackendKind, CoalesceConfig, DurabilitySink, Engine, EngineConfig, EpochRecord, Journal,
+    JournalCursor, JournalRecord, Metrics, RecoverError, ReplayError, ResizeError, ResizeReport,
+    TenantId,
 };
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
