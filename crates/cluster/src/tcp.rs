@@ -844,7 +844,14 @@ impl PrimaryLink {
         let text = frame.to_text();
         let t0 = self.tele.as_ref().map_or(0, |t| t.t.now_nanos());
         {
-            let conn = self.conn.as_mut().expect("live connection");
+            // The redial above makes a live connection overwhelmingly
+            // likely here, but the stall loop calls `wait_ack` → `fail`
+            // paths that drop it — and a hostile ack stream must never
+            // be able to abort the primary. Surface a typed error
+            // instead of panicking on the invariant.
+            let Some(conn) = self.conn.as_mut() else {
+                return Err(self.fail(TransportError::Closed));
+            };
             if let Err(e) =
                 write_frame(&mut conn.writer, text.as_bytes()).and_then(|()| conn.writer.flush())
             {

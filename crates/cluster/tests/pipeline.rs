@@ -360,6 +360,52 @@ fn an_oversized_ack_frame_is_rejected_before_it_is_read() {
     assert_eq!(acked, None);
 }
 
+/// A hostile ack that lands while `send` is *stalled on a full window*
+/// must surface as the typed `Protocol` error from that very call —
+/// never a panic. Regression guard for the `expect("live connection")`
+/// that used to sit on the post-stall write path in `send_impl`: the
+/// stall loop hands the link to ack processing, which on hostile input
+/// drops the connection, and the subsequent write must observe that as
+/// a typed failure rather than an invariant.
+#[test]
+fn a_hostile_ack_during_a_window_stall_fails_typed_not_panicking() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        for _ in 0..2 {
+            let _ = read_frame(&mut reader, 1 << 20);
+        }
+        // Let the primary enter the backpressure stall before lying.
+        std::thread::sleep(Duration::from_millis(150));
+        let _ = write_frame(&mut write_half, b"ok 9");
+        let _ = write_half.flush();
+        while let Ok(Some(_)) = read_frame(&mut reader, 1 << 20) {}
+    });
+
+    let (_primary, _boot, frames) = seeded_primary(3);
+    let config = LinkConfig {
+        drain_timeout: Duration::from_secs(30),
+        ..fast_config(2)
+    };
+    let mut link = PrimaryLink::connect_with(addr, config).unwrap();
+    link.send(&frames[0]).unwrap();
+    link.send(&frames[1]).unwrap();
+    assert_eq!(link.in_flight(), 2, "the window is full");
+    // Blocking send stalls for an ack slot; the ack that arrives is
+    // hostile. The call must fail typed, with the honest state intact.
+    let err = link
+        .send(&frames[2])
+        .expect_err("a hostile ack must fail the stalled send");
+    assert_protocol(err, "above the shipped window");
+    assert!(!link.is_connected(), "the poisoned connection is dropped");
+    assert_eq!(link.acked_seq(), None, "a lying ack never moves acked_seq");
+    drop(link);
+    server.join().unwrap();
+}
+
 /// An honest ack dribbled one byte per read-timeout window (length
 /// prefix and payload split across many TCP segments) must still be
 /// reassembled and processed: a timeout mid-frame parks the partial

@@ -179,6 +179,23 @@ impl Default for CoalesceConfig {
     }
 }
 
+/// How a caller wants its queued requests serviced — the flush
+/// scheduling hook used by front-ends ([`Engine::flush_batch`]) so the
+/// policy choice lives in configuration rather than in three different
+/// call sites.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlushMode {
+    /// [`Engine::flush`]: drain now, report every outcome.
+    #[default]
+    Immediate,
+    /// [`Engine::flush_coalesced`]: may defer under the installed
+    /// [`CoalesceConfig`]; `None` means *accepted, not yet serviced*.
+    Coalesced,
+    /// [`Engine::flush_durable`]: drain now and group-commit to the
+    /// attached durable sink before reporting success.
+    Durable,
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -446,15 +463,16 @@ impl Engine {
         }
     }
 
-    /// Enqueues a request on behalf of `tenant`, translating its external
-    /// job id into the tenant's slice of the global id space. Returns the
-    /// global id (for correlating journal entries and placements).
+    /// Translates a tenant's external job id into its slice of the
+    /// global id space — the pure half of [`Engine::submit_for`], also
+    /// used by read-side entry points ([`Engine::window_of_for`]) and by
+    /// serving front-ends that need the global id before deciding
+    /// whether to submit at all.
     ///
     /// Fails if `tenant` is the reserved [`TenantId`]`(0)` or the
     /// external id does not fit the per-tenant id space (`2^48` ids per
     /// tenant).
-    pub fn submit_for(&mut self, tenant: TenantId, request: Request) -> Result<JobId, Error> {
-        let external = request.job_id();
+    pub fn global_id_of(tenant: TenantId, external: JobId) -> Result<JobId, Error> {
         if tenant.0 == 0 {
             return Err(Error::UnsupportedJob {
                 job: external,
@@ -471,13 +489,52 @@ impl Engine {
                 ),
             });
         }
-        let global = JobId(((tenant.0 as u64) << TENANT_SHIFT) | external.0);
+        Ok(JobId(((tenant.0 as u64) << TENANT_SHIFT) | external.0))
+    }
+
+    /// Enqueues a request on behalf of `tenant`, translating its external
+    /// job id into the tenant's slice of the global id space. Returns the
+    /// global id (for correlating journal entries and placements).
+    ///
+    /// Fails under the [`Engine::global_id_of`] rules: the reserved
+    /// [`TenantId`]`(0)`, or an external id outside the per-tenant space.
+    pub fn submit_for(&mut self, tenant: TenantId, request: Request) -> Result<JobId, Error> {
+        let global = Self::global_id_of(tenant, request.job_id())?;
         let namespaced = match request {
             Request::Insert { window, .. } => Request::Insert { id: global, window },
             Request::Delete { .. } => Request::Delete { id: global },
         };
         self.submit(namespaced);
         Ok(global)
+    }
+
+    /// Original window of a tenant's active job, addressed by its
+    /// **external** id — the read-side companion of
+    /// [`Engine::submit_for`], confined to the tenant's own slice of the
+    /// id space exactly like the write path.
+    pub fn window_of_for(
+        &self,
+        tenant: TenantId,
+        external: JobId,
+    ) -> Result<Option<Window>, Error> {
+        let global = Self::global_id_of(tenant, external)?;
+        Ok(self.window_of(global))
+    }
+
+    /// Jobs currently scheduled for one tenant, across all shards (the
+    /// per-tenant slice of [`Engine::active_count`]; used by serving
+    /// front-ends to report tenant occupancy).
+    pub fn active_count_for(&self, tenant: TenantId) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(s)
+                    .active_jobs()
+                    .iter()
+                    .filter(|(id, _)| tenant_of(*id) == tenant.0 as u64)
+                    .count()
+            })
+            .sum()
     }
 
     /// Requests queued across all shards, waiting for the next flush.
@@ -490,6 +547,11 @@ impl Engine {
     /// each shard processes its own queue in FIFO order either way, so
     /// results are identical.
     pub fn flush(&mut self) -> BatchReport {
+        // Any serviced flush breaks the chain of *consecutive*
+        // deferrals the coalescing policy counts: after a barrier
+        // (explicit flush, checkpoint, flush_durable) consumed the
+        // queue, the deferral budget starts fresh.
+        self.deferred = 0;
         if self.tele.is_some() {
             return self.flush_instrumented();
         }
@@ -760,6 +822,20 @@ impl Engine {
             return Err(e);
         }
         Ok(report)
+    }
+
+    /// Dispatches on [`FlushMode`] — one entry point for front-ends
+    /// whose flush policy is configuration. `Ok(None)` only occurs in
+    /// [`FlushMode::Coalesced`] and means the queued requests were
+    /// accepted but deferred to a later flush; `Err` only occurs in
+    /// [`FlushMode::Durable`] and carries the sink failure (the
+    /// in-memory flush still happened).
+    pub fn flush_batch(&mut self, mode: FlushMode) -> Result<Option<BatchReport>, String> {
+        match mode {
+            FlushMode::Immediate => Ok(Some(self.flush())),
+            FlushMode::Coalesced => Ok(self.flush_coalesced()),
+            FlushMode::Durable => self.flush_durable().map(Some),
+        }
     }
 
     /// Every active job's `(shard, machine, slot)` placement, sorted by

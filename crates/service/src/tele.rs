@@ -1,0 +1,77 @@
+//! The service's instrument bundle: global handles resolved once at
+//! bind time, per-tenant labeled handles resolved once per tenant (the
+//! first command a tenant sends pays the registry lookup; every later
+//! command reuses the cached handles).
+//!
+//! # Metric names
+//!
+//! * `service_connections_total` — connections accepted.
+//! * `service_requests_total` — commands served (any verb, any outcome).
+//! * `service_shed_total` — commands shed by QoS (also per tenant).
+//! * `service_refused_total` — commands refused with `err`.
+//! * `service_request_nanos{tenant="N"}` — per-tenant service time,
+//!   receipt to response; rendered as a summary, so
+//!   `service_request_nanos{tenant="N",quantile="0.99"}` is the
+//!   scrapeable p99 (with `0.5`/`0.95` siblings and `_sum`/`_count`/
+//!   `_max` companions).
+//! * `service_admitted_total{tenant="N"}` — admitted commands.
+//! * `service_shed_total{tenant="N"}` — shed commands.
+
+use realloc_telemetry::{labeled, Counter, Histo, Telemetry};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cached per-tenant instrument handles.
+#[derive(Clone, Debug)]
+pub(crate) struct TenantTele {
+    pub request_nanos: Histo,
+    pub admitted_total: Counter,
+    pub shed_total: Counter,
+}
+
+/// Service-level instruments; absent on servers without telemetry.
+#[derive(Debug)]
+pub(crate) struct ServiceTele {
+    /// The attached telemetry (clock + registry).
+    pub t: Telemetry,
+    pub connections_total: Counter,
+    pub requests_total: Counter,
+    pub shed_total: Counter,
+    pub refused_total: Counter,
+    tenants: Mutex<HashMap<u16, TenantTele>>,
+}
+
+impl ServiceTele {
+    /// Resolves the global instruments; `None` when `t` is disabled.
+    pub fn build(t: &Telemetry) -> Option<Arc<ServiceTele>> {
+        if !t.is_enabled() {
+            return None;
+        }
+        Some(Arc::new(ServiceTele {
+            connections_total: t.counter("service_connections_total"),
+            requests_total: t.counter("service_requests_total"),
+            shed_total: t.counter("service_shed_total"),
+            refused_total: t.counter("service_refused_total"),
+            tenants: Mutex::new(HashMap::new()),
+            t: t.clone(),
+        }))
+    }
+
+    /// The cached handle bundle for `tenant`, resolving on first use.
+    pub fn tenant(&self, tenant: u16) -> TenantTele {
+        let mut map = self.tenants.lock().expect("tenant tele lock");
+        map.entry(tenant)
+            .or_insert_with(|| TenantTele {
+                request_nanos: self
+                    .t
+                    .histogram(labeled("service_request_nanos", "tenant", tenant)),
+                admitted_total: self
+                    .t
+                    .counter(labeled("service_admitted_total", "tenant", tenant)),
+                shed_total: self
+                    .t
+                    .counter(labeled("service_shed_total", "tenant", tenant)),
+            })
+            .clone()
+    }
+}

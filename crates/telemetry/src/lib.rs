@@ -47,7 +47,7 @@ pub mod render;
 pub mod trace;
 
 pub use hist::{Histogram, HIST_BUCKETS};
-pub use obs::{fetch_metrics, fetch_trace, ObsClient, ObsServer};
+pub use obs::{fetch_metrics, fetch_trace, ObsClient, ObsConfig, ObsServer};
 pub use realloc_core::clock::Clock;
 pub use render::parse_sample;
 pub use trace::{Severity, TraceBuffer, TraceEvent, TraceKind};

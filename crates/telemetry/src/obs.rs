@@ -28,12 +28,31 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Cap on one command frame (a short verb).
 const MAX_COMMAND_BYTES: u32 = 4096;
 
 /// Cap on one response frame (a rendered dump).
 const MAX_RESPONSE_BYTES: u32 = 16 << 20;
+
+/// Handler-thread policy for [`ObsServer`] connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// How long a handler waits for the next command frame before
+    /// reaping the connection. A client that connects and goes silent
+    /// otherwise pins its detached handler thread (and socket) forever.
+    /// `None` disables the timeout (trusted pollers only).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            read_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
 
 /// Serves one [`Telemetry`]'s registry and trace ring over TCP.
 #[derive(Debug)]
@@ -45,8 +64,18 @@ pub struct ObsServer {
 
 impl ObsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// serves `telemetry` on a background accept loop.
+    /// serves `telemetry` on a background accept loop, with the default
+    /// [`ObsConfig`] (silent connections reaped after 60 s).
     pub fn bind(addr: impl ToSocketAddrs, telemetry: Telemetry) -> std::io::Result<ObsServer> {
+        Self::bind_with(addr, telemetry, ObsConfig::default())
+    }
+
+    /// [`ObsServer::bind`] with an explicit handler policy.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        telemetry: Telemetry,
+        config: ObsConfig,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -59,8 +88,12 @@ impl ObsServer {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Reap silent clients: without this, an idle peer
+                    // pins its handler thread for the process lifetime.
+                    let _ = stream.set_read_timeout(config.read_timeout);
                     let tel = telemetry.clone();
-                    // Detached: handlers exit when their peer disconnects.
+                    // Detached: handlers exit when their peer
+                    // disconnects or goes quiet past the timeout.
                     let _ = std::thread::Builder::new()
                         .name("obs-conn".to_string())
                         .spawn(move || serve_connection(stream, tel));
@@ -107,7 +140,9 @@ fn serve_connection(stream: TcpStream, telemetry: Telemetry) {
     loop {
         let payload = match read_frame(&mut reader, MAX_COMMAND_BYTES) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // peer gone
+            // Peer gone — or silent past the read timeout (the error
+            // arm is also how a reaped connection exits).
+            Ok(None) | Err(_) => return,
         };
         let response = match std::str::from_utf8(&payload).map(str::trim) {
             Ok("metrics") => telemetry.render_text(),
@@ -214,5 +249,40 @@ mod tests {
         // One-shot helpers work too.
         let text = fetch_metrics(server.addr()).unwrap();
         assert_eq!(parse_sample(&text, "obs_reqs_total"), Some(22));
+    }
+
+    /// Regression: a client that connects and never sends a frame used
+    /// to pin its detached handler thread forever (no read timeout).
+    /// With the timeout the handler reaps the connection — observable
+    /// from the client side as EOF on its next read.
+    #[test]
+    fn silent_client_is_reaped_by_read_timeout() {
+        use std::io::Read as _;
+
+        let tel = Telemetry::with_clock(Clock::manual(), 4);
+        let server = ObsServer::bind_with(
+            "127.0.0.1:0",
+            tel.clone(),
+            ObsConfig {
+                read_timeout: Some(Duration::from_millis(50)),
+            },
+        )
+        .unwrap();
+
+        // Connect and go silent. The handler must hang up on us.
+        let mut silent = TcpStream::connect(server.addr()).unwrap();
+        silent
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let n = silent
+            .read(&mut buf)
+            .expect("server should close, not stall");
+        assert_eq!(n, 0, "expected EOF from the reaped handler");
+
+        // The server itself is unharmed: a live poller still works.
+        tel.counter("obs_alive_total").add(1);
+        let text = fetch_metrics(server.addr()).unwrap();
+        assert_eq!(parse_sample(&text, "obs_alive_total"), Some(1));
     }
 }

@@ -1,0 +1,142 @@
+//! The client-facing serving tier end-to-end over loopback TCP: a
+//! mixed-tenant hotspot (three small tenants plus one **whale**) driven
+//! through the text protocol with per-tenant rate limits in force, an
+//! online `rebalance()` isolating the whale onto its own shard while
+//! the traffic flows, and per-tenant p99 service times polled live over
+//! the observability endpoint the whole time.
+//!
+//! ```sh
+//! cargo run --release --example qos_server
+//! ```
+
+use realloc_sched::service::{QosConfig, RateLimit, ServiceConfig, ServiceServer};
+use realloc_sched::workloads::{drive_feed, hotspot, HOTSPOT_WHALE};
+use realloc_sched::{BackendKind, Engine, EngineConfig, ObsClient, ObsServer, Telemetry, TenantId};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let telemetry = Telemetry::new();
+
+    // The engine behind the front door: 4 journaled shards.
+    let engine = Engine::new(EngineConfig {
+        shards: 4,
+        machines_per_shard: 4,
+        backend: BackendKind::TheoremOne { gamma: 8 },
+        parallel: false,
+        journal: true,
+        ..EngineConfig::default()
+    });
+
+    // Every tenant is metered; the whale gets a bigger allowance. The
+    // limits are set well above the offered load, so a healthy run
+    // sheds nothing — they are a guard rail, not a throttle.
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        engine,
+        ServiceConfig {
+            qos: QosConfig {
+                default_limit: Some(RateLimit {
+                    rate_per_sec: 20_000,
+                    burst: 256,
+                }),
+                tenant_limits: vec![(
+                    HOTSPOT_WHALE,
+                    Some(RateLimit {
+                        rate_per_sec: 50_000,
+                        burst: 1024,
+                    }),
+                )],
+                ..QosConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &telemetry,
+    )
+    .expect("bind service");
+    let obs = ObsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind obs");
+    println!("serving on {}, metrics on {}", server.addr(), obs.addr());
+
+    // Drive the hotspot feed from a client thread: 3 dwarfs + the
+    // whale, pipelined 16 deep over one connection.
+    let addr = server.addr();
+    let driver = std::thread::spawn(move || {
+        let mut feed = hotspot(3, 7);
+        drive_feed(addr, &mut feed, 8, 60, 16).expect("drive feed")
+    });
+
+    // While the traffic flows, poll per-tenant p99s over the obs
+    // endpoint and wait for the whale to dominate enough for the
+    // rebalance to act.
+    let mut poller = ObsClient::connect(obs.addr()).expect("connect obs");
+    let p99_of = |text: &str, tenant: u16| {
+        realloc_sched::parse_sample(
+            text,
+            &format!("service_request_nanos{{tenant=\"{tenant}\",quantile=\"0.99\"}}"),
+        )
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let report = loop {
+        std::thread::sleep(Duration::from_millis(10));
+        let text = poller.metrics().expect("poll metrics");
+        if let Some(p99) = p99_of(&text, HOTSPOT_WHALE) {
+            println!("live: whale p99 {} ns", p99);
+        }
+        let acted = {
+            let engine = server.engine();
+            let mut engine = engine.lock().expect("engine lock");
+            engine.rebalance().expect("rebalance under load")
+        };
+        if let Some(report) = acted {
+            break report;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the whale never dominated — feed misconfigured?"
+        );
+    };
+    println!(
+        "rebalanced mid-run: {} -> {} shards, {} jobs re-placed ({} moved), {} queued preserved",
+        report.from_shards,
+        report.to_shards,
+        report.jobs,
+        report.jobs_moved,
+        report.queued_preserved
+    );
+
+    let stats = driver.join().expect("driver thread");
+    for (tenant, s) in &stats {
+        let who = if *tenant == HOTSPOT_WHALE {
+            "whale"
+        } else {
+            "dwarf"
+        };
+        println!(
+            "tenant {tenant} ({who}): {} sent, {} admitted, {} shed, {} refused",
+            s.sent, s.admitted, s.shed, s.refused
+        );
+        assert_eq!(
+            (s.admitted, s.shed, s.refused),
+            (s.sent, 0, 0),
+            "rate limits sized above the load must not shed, and no \
+             admitted request may be lost across the rebalance"
+        );
+    }
+
+    // The final scrape: every tenant's quantiles are live.
+    let text = poller.metrics().expect("final scrape");
+    for tenant in stats.keys() {
+        let p99 = p99_of(&text, *tenant).expect("per-tenant p99 scrapeable");
+        println!("tenant {tenant}: final p99 {p99} ns");
+    }
+
+    // The engine behind it all came through consistent, whale isolated.
+    let engine = server.engine();
+    let engine = engine.lock().expect("engine lock");
+    engine.validate().expect("engine valid after the run");
+    let whale_active = engine.active_count_for(TenantId(HOTSPOT_WHALE));
+    println!(
+        "engine valid: {} whale jobs active across {} shards after isolation",
+        whale_active,
+        engine.metrics().shards.len()
+    );
+}

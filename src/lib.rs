@@ -45,6 +45,7 @@
 //! | [`telemetry`] | — | metrics registry, trace ring, TCP exposition |
 //! | [`engine`] | — | sharded, batched, multi-tenant scheduling service |
 //! | [`cluster`] | — | journal-shipping replication: primary/replica, fenced failover |
+//! | [`service`] | — | client-facing TCP serving tier with per-tenant QoS |
 //! | [`store`] | — | fsync'd on-disk journal/checkpoint store, fault injection, crash matrix |
 //! | [`sim`] | — | harness, stats, experiment binaries |
 //!
@@ -104,6 +105,10 @@ pub mod engine {
 pub mod cluster {
     pub use realloc_cluster::*;
 }
+/// Client-facing serving tier with QoS (re-export of `realloc-service`).
+pub mod service {
+    pub use realloc_service::*;
+}
 /// Crash-durable on-disk store (re-export of `realloc-store`).
 pub mod store {
     pub use realloc_store::*;
@@ -129,6 +134,7 @@ pub use realloc_engine::{
 };
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
+pub use realloc_service::{QosConfig, RateLimit, ServiceConfig, ServiceServer};
 pub use realloc_store::{DurableStore, FaultIo, FsIo, MemIo, RecoverFromDir, StoreError, StoreIo};
 pub use realloc_telemetry::{
     fetch_metrics, fetch_trace, labeled, parse_sample, Clock, ObsClient, ObsServer, Severity,
