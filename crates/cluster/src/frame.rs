@@ -46,6 +46,7 @@ use realloc_core::textio::{line_content as strip, ParseError};
 use realloc_core::{JobId, Request, Window};
 use realloc_engine::journal::{Costs, ErrCode};
 use realloc_engine::{EngineRouter, EpochRecord, JournalEvent, TENANT_SHIFT};
+use realloc_telemetry::TraceCtx;
 
 /// Hard cap on one wire frame's byte length (shared by both ends of the
 /// TCP transport). A snapshot frame's size is dominated by the embedded
@@ -91,6 +92,14 @@ pub struct Frame {
     pub seq: u64,
     /// The payload.
     pub payload: Payload,
+    /// Out-of-band causal trace annotation: the sampled request whose
+    /// batch this frame ships. Encoded as a `# trace <id> <origin>`
+    /// comment line after the payload — `line_content` strips comments,
+    /// so the annotation is invisible to the payload grammar, never
+    /// enters digested journal text, and its presence or absence cannot
+    /// change replica state or digests. Replicas use it to record an
+    /// `apply` event under the same trace id as the primary's spans.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Frame {
@@ -163,6 +172,11 @@ impl Frame {
                 .unwrap();
             }
         }
+        if let Some(tc) = &self.trace {
+            // A comment line: stripped by the line discipline, so the
+            // digested payload is byte-identical with or without it.
+            writeln!(out, "# trace {} {}", tc.id, tc.origin_nanos).unwrap();
+        }
         out
     }
 
@@ -205,10 +219,13 @@ impl Frame {
                 finish(&mut parts, line)?;
                 let mut text = String::new();
                 let mut taken = 0usize;
-                for (_, raw) in lines.by_ref() {
-                    if taken == nlines {
+                // `while`, not `for` + break: a for-loop would pull one
+                // line past the body before noticing it is done, eating
+                // whatever follows (e.g. the trace annotation).
+                while taken < nlines {
+                    let Some((_, raw)) = lines.next() else {
                         break;
-                    }
+                    };
                     text.push_str(raw);
                     text.push('\n');
                     taken += 1;
@@ -319,6 +336,9 @@ impl Frame {
             }
             other => return Err(err(format!("unknown frame kind '{other}'"))),
         };
+        // Comments after the payload may carry the out-of-band trace
+        // annotation; anything non-comment is still trailing garbage.
+        let mut trace = None;
         for (i, raw) in lines {
             if !strip(raw).is_empty() {
                 return Err(ParseError {
@@ -326,9 +346,36 @@ impl Frame {
                     message: format!("trailing content after the frame payload: '{}'", strip(raw)),
                 });
             }
+            if trace.is_none() {
+                trace = parse_trace_comment(raw);
+            }
         }
-        Ok(Frame { term, seq, payload })
+        Ok(Frame {
+            term,
+            seq,
+            payload,
+            trace,
+        })
     }
+}
+
+/// Recognizes a `# trace <id> <origin>` annotation comment. Lenient by
+/// design: a comment that isn't exactly this shape (or carries id 0,
+/// the "untraced" sentinel) is an ordinary comment, never an error —
+/// old peers must keep interoperating with annotated streams and vice
+/// versa.
+fn parse_trace_comment(raw: &str) -> Option<TraceCtx> {
+    let comment = raw.trim_start().strip_prefix('#')?;
+    let mut parts = comment.split_whitespace();
+    if parts.next() != Some("trace") {
+        return None;
+    }
+    let id = parts.next()?.parse::<u64>().ok().filter(|&id| id != 0)?;
+    let origin_nanos = parts.next()?.parse::<u64>().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(TraceCtx { id, origin_nanos })
 }
 
 fn finish(parts: &mut std::str::SplitWhitespace<'_>, line: usize) -> Result<(), ParseError> {
@@ -418,6 +465,7 @@ mod tests {
                 events_applied: 42,
                 text: format!("{SNAPSHOT_HEADER}\n!begin engine\nc 1 1 naive 0 1 4 0\n!end\n"),
             },
+            trace: None,
         });
         round_trip(Frame {
             term: 3,
@@ -442,6 +490,7 @@ mod tests {
                     result: Err(ErrCode::Unknown),
                 },
             ]),
+            trace: None,
         });
         round_trip(Frame {
             term: 2,
@@ -451,6 +500,7 @@ mod tests {
                 shards: 6,
                 pins: vec![(7, 5)],
             }),
+            trace: None,
         });
         round_trip(Frame {
             term: 2,
@@ -459,7 +509,106 @@ mod tests {
                 events_applied: 12345,
                 digest: 0xdead_beef_cafe_f00d,
             },
+            trace: None,
         });
+    }
+
+    /// The out-of-band trace annotation round-trips on every payload
+    /// kind — and, because it is a comment, its presence never changes
+    /// the digested payload text.
+    #[test]
+    fn trace_annotation_round_trips_and_stays_out_of_band() {
+        let tc = TraceCtx {
+            id: 0xfeed_beef,
+            origin_nanos: 123_456,
+        };
+        let events = Payload::Events(vec![JournalEvent {
+            batch: 9,
+            shard: 2,
+            request: Request::Insert {
+                id: JobId(7),
+                window: Window::new(4, 12),
+            },
+            result: Ok(Costs {
+                reallocations: 1,
+                migrations: 0,
+            }),
+        }]);
+        for payload in [
+            events,
+            Payload::Epoch(EpochRecord {
+                epoch: 4,
+                shards: 6,
+                pins: vec![(7, 5)],
+            }),
+            Payload::Check {
+                events_applied: 12,
+                digest: 0xabc,
+            },
+            Payload::Snapshot {
+                events_applied: 42,
+                text: format!("{SNAPSHOT_HEADER}\n!begin engine\nc 1 1 naive 0 1 4 0\n!end\n"),
+            },
+        ] {
+            let traced = Frame {
+                term: 3,
+                seq: 17,
+                payload: payload.clone(),
+                trace: Some(tc),
+            };
+            round_trip(traced.clone());
+            let plain = Frame {
+                trace: None,
+                ..traced.clone()
+            };
+            // Annotated text = plain text + one comment line; stripping
+            // comment lines recovers the plain encoding byte-for-byte.
+            let annotated = traced.to_text();
+            assert_eq!(
+                annotated,
+                format!("{}# trace {} {}\n", plain.to_text(), tc.id, tc.origin_nanos)
+            );
+            let stripped: String = annotated
+                .lines()
+                .filter(|l| !strip(l).is_empty() || payload_owns_line(&plain, l))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            assert_eq!(stripped, plain.to_text());
+        }
+    }
+
+    /// Snapshot bodies keep comment lines verbatim; the filter above
+    /// must not drop them when comparing encodings.
+    fn payload_owns_line(frame: &Frame, line: &str) -> bool {
+        match &frame.payload {
+            Payload::Snapshot { text, .. } => text.lines().any(|l| l == line),
+            _ => false,
+        }
+    }
+
+    /// Malformed or unrelated comments are plain comments — never an
+    /// error, never a bogus trace context (old and new peers mix).
+    #[test]
+    fn odd_comments_parse_as_untraced() {
+        for text in [
+            "R 1 2 check 0 0x0\n# just a comment\n",
+            "R 1 2 check 0 0x0\n# trace\n",
+            "R 1 2 check 0 0x0\n# trace banana 5\n",
+            "R 1 2 check 0 0x0\n# trace 0 5\n",
+            "R 1 2 check 0 0x0\n# trace 7 5 extra\n",
+        ] {
+            let frame = Frame::parse(text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(frame.trace, None, "{text:?}");
+        }
+        // The first well-formed annotation wins.
+        let frame = Frame::parse("R 1 2 check 0 0x0\n# trace 7 5\n# trace 8 6\n").unwrap();
+        assert_eq!(
+            frame.trace,
+            Some(TraceCtx {
+                id: 7,
+                origin_nanos: 5
+            })
+        );
     }
 
     #[test]

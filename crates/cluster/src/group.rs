@@ -37,7 +37,7 @@ use crate::tele::GroupTele;
 use crate::transport::{FrameSink, TransportError};
 use realloc_core::Request;
 use realloc_engine::{BatchReport, ResizeError, ResizeReport};
-use realloc_telemetry::Telemetry;
+use realloc_telemetry::{Severity, Telemetry, TraceCtx};
 
 /// Why a quorum operation failed.
 #[derive(Debug)]
@@ -95,6 +95,11 @@ pub struct ReplicationGroup {
     /// Last failure per link (index-aligned), cleared on success —
     /// commit reports the freshest one when the quorum is missed.
     last_errors: Vec<Option<String>>,
+    /// The newest traced frame shipped but not yet quorum-acked:
+    /// `(seq, ctx)`. Commit emits a `quorum_ack` trace point once the
+    /// committed floor covers it, closing the causal chain that started
+    /// at the service tier. Runtime metadata only — never digested.
+    pending_commit_trace: Option<(u64, TraceCtx)>,
     tele: Option<Box<GroupTele>>,
 }
 
@@ -122,6 +127,7 @@ impl ReplicationGroup {
             links: Vec::new(),
             quorum,
             last_errors: Vec::new(),
+            pending_commit_trace: None,
             tele: None,
         })
     }
@@ -192,6 +198,7 @@ impl ReplicationGroup {
     /// [`ReplicationGroup::commit_through`].
     pub fn flush(&mut self) -> (BatchReport, u64) {
         let (report, frames) = self.primary.flush();
+        self.note_traced(&frames);
         self.broadcast(&frames);
         (report, self.shipped_seq())
     }
@@ -200,8 +207,17 @@ impl ReplicationGroup {
     /// pre-commit barrier variant).
     pub fn flush_now(&mut self) -> (BatchReport, u64) {
         let (report, frames) = self.primary.flush_now();
+        self.note_traced(&frames);
         self.broadcast(&frames);
         (report, self.shipped_seq())
+    }
+
+    /// Remembers the newest traced frame in `frames` so the next
+    /// successful commit can emit its `quorum_ack` span point.
+    fn note_traced(&mut self, frames: &[Frame]) {
+        if let Some(f) = frames.iter().rev().find(|f| f.trace.is_some()) {
+            self.pending_commit_trace = f.trace.map(|tc| (f.seq, tc));
+        }
     }
 
     /// Resizes the primary's engine online and broadcasts the epoch
@@ -270,6 +286,18 @@ impl ReplicationGroup {
                 Ok(committed) => {
                     tele.commits.inc();
                     tele.committed_seq.set(*committed);
+                    if let Some((traced_seq, tc)) = self.pending_commit_trace {
+                        if traced_seq <= *committed {
+                            tele.t
+                                .point_in(tc, Severity::Info, "quorum_ack", traced_seq, took);
+                            self.pending_commit_trace = None;
+                        }
+                    }
+                }
+                Err(GroupError::QuorumLost { needed, acked, .. }) => {
+                    tele.quorum_failures.inc();
+                    tele.t
+                        .incident("quorum_lost", *needed as u64, *acked as u64);
                 }
                 Err(_) => tele.quorum_failures.inc(),
             }

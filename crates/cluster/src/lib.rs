@@ -81,6 +81,7 @@
 pub mod frame;
 pub mod group;
 pub mod primary;
+pub mod relay;
 pub mod replica;
 pub mod tcp;
 mod tele;
@@ -89,6 +90,7 @@ pub mod transport;
 pub use frame::{Frame, Payload, MAX_FRAME_BYTES};
 pub use group::{GroupError, ReplicationGroup};
 pub use primary::{Primary, DEFAULT_HISTORY_FRAMES};
+pub use relay::JournalRelay;
 pub use replica::{ApplyError, Replica};
 pub use tcp::{LinkConfig, PrimaryLink, ReplicaServer};
 pub use transport::{FrameSink, TransportError};

@@ -402,6 +402,7 @@ impl Primary {
                                 events_applied: cp.events_before,
                                 text: cp.snapshot.clone(),
                             },
+                            trace: None,
                         }];
                         frames.extend(tail);
                         return (owed, frames);
@@ -441,7 +442,10 @@ impl Primary {
     }
 
     /// Stamps a stream payload with this term and the next sequence
-    /// number, retaining it in the catch-up history.
+    /// number, retaining it in the catch-up history. An `events` payload
+    /// whose batch was traced ([`Engine::flush_batch_traced`]) gets the
+    /// batch's context as the frame's out-of-band annotation, so the
+    /// replica's `apply` event lands in the same trace.
     fn stamp(&mut self, payload: Payload) -> Frame {
         if let Some(tele) = &self.tele {
             match &payload {
@@ -453,10 +457,17 @@ impl Primary {
             tele.next_seq.set(self.next_seq + 1);
             tele.term.set(self.term);
         }
+        let trace = match &payload {
+            Payload::Events(events) => events
+                .first()
+                .and_then(|e| self.engine.trace_of_batch(e.batch)),
+            _ => None,
+        };
         let frame = Frame {
             term: self.term,
             seq: self.next_seq,
             payload,
+            trace,
         };
         self.next_seq += 1;
         self.history.push_back(frame.clone());
@@ -479,6 +490,7 @@ impl Primary {
                 events_applied: self.journal_total(),
                 text: realloc_core::snapshot::Restorable::snapshot_text(&self.engine),
             },
+            trace: None,
         }
     }
 

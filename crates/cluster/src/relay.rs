@@ -1,0 +1,367 @@
+//! [`JournalRelay`]: the replication stream for an engine that is
+//! *shared* with a serving tier.
+//!
+//! [`crate::Primary`] consumes its [`Engine`] by value — the right shape
+//! when replication owns the write path. A
+//! [`realloc_service`-style](https://docs.rs) serving tier instead owns
+//! the engine behind an `Arc<Mutex<_>>` so socket handlers can flush it
+//! concurrently. The relay tails that shared engine's journal into
+//! exactly the same sequence-numbered, term-fenced [`Frame`] stream a
+//! `Primary` would produce: call [`JournalRelay::poll`] after (or on a
+//! cadence around) service flushes and push the frames into any
+//! [`crate::transport::FrameSink`].
+//!
+//! Because the journal is the stream, nothing is lost between polls:
+//! whatever batches the service tier flushed since the last poll come
+//! out as `events` frames in order, each carrying its batch's
+//! out-of-band trace annotation when the flush was traced
+//! ([`realloc_engine::Engine::flush_batch_traced`]) — the causal chain
+//! minted at the service edge survives the relay untouched.
+
+use crate::frame::{Frame, Payload};
+use crate::tele::PrimaryTele;
+use crate::ClusterError;
+use realloc_engine::{Engine, JournalCursor, JournalEvent, JournalRecord};
+use realloc_telemetry::Telemetry;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tails a shared engine's journal into the replication frame stream;
+/// see the module docs.
+#[derive(Debug)]
+pub struct JournalRelay {
+    engine: Arc<Mutex<Engine>>,
+    term: u64,
+    /// Sequence number the next stream frame will carry.
+    next_seq: u64,
+    /// Journal position already turned into frames.
+    cursor: JournalCursor,
+    /// Recent stream frames, oldest first (bounded by `history_cap`).
+    history: VecDeque<Frame>,
+    history_cap: usize,
+    /// Streaming-side instruments ([`JournalRelay::attach_telemetry`]).
+    tele: Option<Box<PrimaryTele>>,
+}
+
+impl JournalRelay {
+    /// Wraps a shared journaled engine as the stream source at `term`.
+    /// The stream starts at the engine's *current* journal position —
+    /// prior history is covered by the bootstrap snapshot, not
+    /// re-shipped.
+    pub fn new(engine: Arc<Mutex<Engine>>, term: u64) -> Result<JournalRelay, ClusterError> {
+        if term == 0 {
+            return Err(ClusterError::BadTerm);
+        }
+        let cursor = {
+            let guard = engine.lock().expect("engine mutex poisoned");
+            let Some(journal) = guard.journal() else {
+                return Err(ClusterError::JournalDisabled);
+            };
+            JournalCursor::at_end_of(journal)
+        };
+        Ok(JournalRelay {
+            engine,
+            term,
+            next_seq: 1,
+            cursor,
+            history: VecDeque::new(),
+            history_cap: crate::primary::DEFAULT_HISTORY_FRAMES,
+            tele: None,
+        })
+    }
+
+    /// Attaches the streaming-side instruments (`cluster_term`,
+    /// `cluster_next_seq`, per-payload frame counters). The *engine's*
+    /// instruments are the serving tier's to attach — the relay never
+    /// re-wires a shared engine's telemetry.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = PrimaryTele::build(telemetry);
+        if let Some(tele) = &self.tele {
+            tele.term.set(self.term);
+            tele.next_seq.set(self.next_seq);
+        }
+    }
+
+    /// Sets the catch-up history cap (frames retained for
+    /// [`JournalRelay::frames_since`]).
+    pub fn with_history_cap(mut self, cap: usize) -> JournalRelay {
+        self.history_cap = cap;
+        self.trim_history();
+        self
+    }
+
+    /// This relay's fencing term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Sequence number the next stream frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Turns every journal record past the stream cursor into frames —
+    /// one `events` frame per recorded batch, one `epoch` frame per
+    /// resize — exactly as [`crate::Primary::poll`] would. If the
+    /// cursor's history was truncated out from under the stream (a
+    /// checkpoint cut on the shared engine), the unshipped records are
+    /// gone and the only sound continuation is a stamped snapshot frame
+    /// that re-bootstraps every replica; that is what this returns.
+    pub fn poll(&mut self) -> Vec<Frame> {
+        let engine = Arc::clone(&self.engine);
+        let guard = engine.lock().expect("engine mutex poisoned");
+        self.poll_locked(&guard)
+    }
+
+    fn poll_locked(&mut self, engine: &MutexGuard<'_, Engine>) -> Vec<Frame> {
+        let journal = engine.journal().expect("relay engines are journaled");
+        let Some(records) = journal.records_since(self.cursor) else {
+            let frame = self.stamp(
+                engine,
+                Payload::Snapshot {
+                    events_applied: journal.total_events(),
+                    text: journal
+                        .latest_checkpoint()
+                        .map(|cp| cp.snapshot.clone())
+                        .unwrap_or_else(|| {
+                            realloc_core::snapshot::Restorable::snapshot_text(&**engine)
+                        }),
+                },
+            );
+            self.cursor = JournalCursor::at_end_of(journal);
+            return vec![frame];
+        };
+        let mut cursor = self.cursor;
+        let mut payloads: Vec<Payload> = Vec::new();
+        let mut open_batch: Option<Vec<JournalEvent>> = None;
+        for record in records {
+            cursor.advance(&record);
+            match record {
+                JournalRecord::Event(e) => match &mut open_batch {
+                    Some(events) if events[0].batch == e.batch => events.push(*e),
+                    Some(events) => {
+                        payloads.push(Payload::Events(std::mem::replace(events, vec![*e])));
+                    }
+                    None => open_batch = Some(vec![*e]),
+                },
+                JournalRecord::Epoch(rec) => {
+                    if let Some(events) = open_batch.take() {
+                        payloads.push(Payload::Events(events));
+                    }
+                    payloads.push(Payload::Epoch(rec.clone()));
+                }
+            }
+        }
+        if let Some(events) = open_batch.take() {
+            payloads.push(Payload::Events(events));
+        }
+        self.cursor = cursor;
+        payloads
+            .into_iter()
+            .map(|p| self.stamp(engine, p))
+            .collect()
+    }
+
+    /// A snapshot frame bootstrapping a **new** replica, preceded by any
+    /// frames still owed to the existing stream (broadcast those to
+    /// already-attached replicas first — the snapshot covers them, so
+    /// the joiner must not see them again). The relay never flushes the
+    /// shared engine itself; whatever sits queued at snapshot time is
+    /// the serving tier's to flush, and the resulting events frames ship
+    /// on the next poll.
+    pub fn bootstrap(&mut self) -> (Vec<Frame>, Frame) {
+        let engine = Arc::clone(&self.engine);
+        let guard = engine.lock().expect("engine mutex poisoned");
+        let owed = self.poll_locked(&guard);
+        let snapshot = Frame {
+            term: self.term,
+            seq: self.next_seq - 1,
+            payload: Payload::Snapshot {
+                events_applied: guard
+                    .journal()
+                    .expect("relay engines are journaled")
+                    .total_events(),
+                text: realloc_core::snapshot::Restorable::snapshot_text(&*guard),
+            },
+            trace: None,
+        };
+        if let Some(tele) = &self.tele {
+            tele.frames_snapshot.inc();
+        }
+        (owed, snapshot)
+    }
+
+    /// Retained stream frames with sequence numbers past `last_seq`, for
+    /// catching up a lagging but already-bootstrapped replica. `None`
+    /// when the history no longer reaches back that far or `last_seq` is
+    /// ahead of this stream — fall back to [`JournalRelay::bootstrap`].
+    pub fn frames_since(&self, last_seq: u64) -> Option<Vec<Frame>> {
+        if last_seq + 1 == self.next_seq {
+            return Some(Vec::new());
+        }
+        if last_seq + 1 > self.next_seq {
+            return None;
+        }
+        let oldest = self.history.front()?.seq;
+        if last_seq + 1 < oldest {
+            return None;
+        }
+        Some(
+            self.history
+                .iter()
+                .filter(|f| f.seq > last_seq)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Stamps a stream payload with this term and the next sequence
+    /// number, retaining it in the catch-up history. An `events` payload
+    /// whose batch was traced gets the batch's context as the frame's
+    /// out-of-band annotation — see [`crate::frame::Frame::trace`].
+    fn stamp(&mut self, engine: &Engine, payload: Payload) -> Frame {
+        if let Some(tele) = &self.tele {
+            match &payload {
+                Payload::Events(_) => tele.frames_events.inc(),
+                Payload::Epoch(_) => tele.frames_epoch.inc(),
+                Payload::Check { .. } => tele.frames_check.inc(),
+                Payload::Snapshot { .. } => tele.frames_snapshot.inc(),
+            }
+            tele.next_seq.set(self.next_seq + 1);
+            tele.term.set(self.term);
+        }
+        let trace = match &payload {
+            Payload::Events(events) => events.first().and_then(|e| engine.trace_of_batch(e.batch)),
+            _ => None,
+        };
+        let frame = Frame {
+            term: self.term,
+            seq: self.next_seq,
+            payload,
+            trace,
+        };
+        self.next_seq += 1;
+        self.history.push_back(frame.clone());
+        self.trim_history();
+        frame
+    }
+
+    fn trim_history(&mut self) {
+        while self.history.len() > self.history_cap {
+            self.history.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_core::{JobId, Request, Window};
+    use realloc_engine::{Engine, EngineConfig, FlushMode};
+
+    fn shared_engine() -> Arc<Mutex<Engine>> {
+        Arc::new(Mutex::new(Engine::new(EngineConfig {
+            shards: 2,
+            journal: true,
+            ..EngineConfig::default()
+        })))
+    }
+
+    #[test]
+    fn relay_streams_flushes_into_replica() {
+        let engine = shared_engine();
+        let mut relay = JournalRelay::new(Arc::clone(&engine), 1).unwrap();
+        let mut replica = crate::Replica::new();
+        let (owed, boot) = relay.bootstrap();
+        assert!(owed.is_empty());
+        replica.apply(&boot).unwrap();
+
+        {
+            let mut eng = engine.lock().unwrap();
+            for i in 0..16u64 {
+                eng.submit(Request::Insert {
+                    id: JobId(i),
+                    window: Window::new(0, 256),
+                });
+            }
+            eng.flush_batch(FlushMode::Immediate).unwrap();
+        }
+        let frames = relay.poll();
+        assert!(!frames.is_empty());
+        for f in &frames {
+            replica.apply(f).unwrap();
+        }
+        assert_eq!(replica.active_count(), 16);
+        assert_eq!(
+            replica.state_digest(),
+            Some(engine.lock().unwrap().state_digest())
+        );
+    }
+
+    #[test]
+    fn traced_flush_stamps_the_events_frame() {
+        let engine = shared_engine();
+        let mut relay = JournalRelay::new(Arc::clone(&engine), 1).unwrap();
+        let tc = realloc_telemetry::TraceCtx::mint(42, 7);
+        {
+            let mut eng = engine.lock().unwrap();
+            eng.submit(Request::Insert {
+                id: JobId(1),
+                window: Window::new(0, 64),
+            });
+            eng.flush_batch_traced(FlushMode::Immediate, Some(tc))
+                .unwrap();
+        }
+        let frames = relay.poll();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].trace, Some(tc));
+        // The annotation stays out of band: stripping the comment line
+        // yields the untraced frame text byte for byte.
+        let mut plain = frames[0].clone();
+        plain.trace = None;
+        let annotated = frames[0].to_text();
+        assert_eq!(
+            annotated,
+            format!("{}# trace {} {}\n", plain.to_text(), tc.id, tc.origin_nanos)
+        );
+    }
+
+    #[test]
+    fn bad_term_and_unjournaled_engines_are_rejected() {
+        assert!(matches!(
+            JournalRelay::new(shared_engine(), 0),
+            Err(ClusterError::BadTerm)
+        ));
+        let unjournaled = Arc::new(Mutex::new(Engine::new(EngineConfig {
+            shards: 2,
+            journal: false,
+            ..EngineConfig::default()
+        })));
+        assert!(matches!(
+            JournalRelay::new(unjournaled, 1),
+            Err(ClusterError::JournalDisabled)
+        ));
+    }
+
+    #[test]
+    fn frames_since_serves_retained_history() {
+        let engine = shared_engine();
+        let mut relay = JournalRelay::new(Arc::clone(&engine), 1).unwrap();
+        for i in 0..3u64 {
+            let mut eng = engine.lock().unwrap();
+            eng.submit(Request::Insert {
+                id: JobId(i),
+                window: Window::new(0, 64),
+            });
+            eng.flush_batch(FlushMode::Immediate).unwrap();
+            drop(eng);
+            relay.poll();
+        }
+        assert_eq!(relay.next_seq(), 4);
+        let tail = relay.frames_since(1).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 2);
+        assert!(relay.frames_since(9).is_none());
+        assert_eq!(relay.frames_since(3).unwrap().len(), 0);
+    }
+}

@@ -164,7 +164,16 @@ impl Replica {
             _ => {}
         }
         match &result {
-            Ok(()) => tele.frames_applied.inc(),
+            Ok(()) => {
+                tele.frames_applied.inc();
+                // The frame's out-of-band annotation joins this apply to
+                // the originating request's trace: same id here as in
+                // the primary's receipt/flush/fsync/ship events.
+                if let Some(tc) = frame.trace {
+                    tele.t
+                        .point_in(tc, Severity::Debug, "apply", frame.seq, took);
+                }
+            }
             Err(e) => {
                 tele.frames_rejected.inc();
                 tele.t

@@ -93,7 +93,7 @@ use crate::replica::Replica;
 use crate::tele::LinkTele;
 use crate::transport::{FrameSink, TransportError};
 use realloc_core::textio::{read_frame, write_frame};
-use realloc_telemetry::{Counter, Telemetry};
+use realloc_telemetry::{Counter, Severity, Telemetry};
 use std::collections::VecDeque;
 use std::io::{BufRead as _, BufReader, BufWriter, ErrorKind, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -600,8 +600,12 @@ impl PrimaryLink {
     fn fail(&mut self, e: TransportError) -> TransportError {
         if let Some(tele) = &self.tele {
             tele.send_errors.inc();
-            if matches!(e, TransportError::DrainTimeout { .. }) {
+            if let TransportError::DrainTimeout { waited, in_flight } = &e {
                 tele.drain_timeouts.inc();
+                // Operator-grade anomaly: fires the flight-recorder
+                // hook so the ring around the stall survives.
+                tele.t
+                    .incident("drain_timeout", waited.as_nanos() as u64, *in_flight as u64);
             }
             tele.window_inflight.set(0);
         }
@@ -862,6 +866,10 @@ impl PrimaryLink {
         if let Some(tele) = &self.tele {
             tele.bytes_shipped.add(text.len() as u64);
             tele.window_inflight.set(self.in_flight() as u64);
+            if let Some(tc) = frame.trace {
+                tele.t
+                    .point_in(tc, Severity::Debug, "ship", frame.seq, text.len() as u64);
+            }
         }
         // Opportunistically retire any acks already on the wire. An
         // error here (rejection, protocol violation, dead peer) may

@@ -595,6 +595,7 @@ fn tampered_outcomes_and_batches_are_rejected() {
             events_applied: replica.events_applied(),
             digest: 0xbad,
         },
+        trace: None,
     };
     match replica.apply(&bad_check) {
         Err(ApplyError::Diverged(m)) => assert!(m.contains("digest"), "{m}"),
@@ -612,6 +613,7 @@ fn corrupt_bootstrap_snapshots_are_rejected() {
             events_applied: 0,
             text: "# realloc snapshot v1\n!begin engine\ntruncated".to_string(),
         },
+        trace: None,
     };
     match replica.apply(&frame) {
         Err(ApplyError::Corrupt(_)) => {}
@@ -645,6 +647,7 @@ fn replica_clone(replica: &Replica) -> Replica {
             events_applied: replica.events_applied(),
             text: engine.snapshot_text(),
         },
+        trace: None,
     })
     .expect("snapshot round-trip");
     out

@@ -16,11 +16,12 @@
 //! shutdown.
 
 use realloc_cluster::tcp::{PrimaryLink, ReplicaServer};
-use realloc_cluster::transport::FrameSink;
-use realloc_cluster::{Frame, Primary, Replica};
+use realloc_cluster::transport::{FrameSink, LocalLink};
+use realloc_cluster::{Frame, Primary, Replica, ReplicationGroup};
 use realloc_core::{JobId, Request, Window};
 use realloc_engine::{BackendKind, Engine, EngineConfig};
-use realloc_telemetry::{labeled, Clock, Severity, Telemetry};
+use realloc_telemetry::{labeled, Clock, Severity, Telemetry, TraceCtx};
+use std::sync::{Arc, Mutex};
 
 fn journaled_config(shards: usize) -> EngineConfig {
     EngineConfig {
@@ -175,6 +176,7 @@ fn rejections_and_term_changes_are_counted() {
         term: 7,
         seq: good.seq + 5,
         payload: good.payload.clone(),
+        trace: None,
     };
     assert!(replica.apply(&gap).is_err());
     assert_eq!(counter(&rt, "cluster_replica_frames_rejected_total"), 1);
@@ -193,6 +195,73 @@ fn rejections_and_term_changes_are_counted() {
         .iter()
         .any(|e| e.key == "term_adopted" && e.severity == Severity::Info));
     assert!(!events.iter().any(|e| e.key == "diverged"));
+}
+
+/// One traced request's causal chain closes at the group-commit point:
+/// the armed trace rides the flush into the shipped frame, the replica's
+/// `apply` records under the same id, and the successful quorum commit
+/// emits the `quorum_ack` point — all under ONE trace id, with the
+/// replicated state still digest-identical to an untraced run.
+#[test]
+fn traced_batch_reaches_quorum_ack_under_one_trace_id() {
+    let pt = Telemetry::with_clock(Clock::manual(), 64);
+    let rt = Telemetry::with_clock(Clock::manual(), 64);
+    let primary = Primary::new(Engine::new(journaled_config(2)), 1).unwrap();
+    let mut group = ReplicationGroup::new(primary, 1).unwrap();
+    group.attach_telemetry(&pt);
+
+    let mut replica = Replica::new();
+    replica.attach_telemetry(&rt);
+    let replica = Arc::new(Mutex::new(replica));
+    group
+        .add_replica(Box::new(LocalLink::new(Arc::clone(&replica))))
+        .unwrap();
+
+    // An untraced warm-up batch: its spans must stay out of the trace.
+    group.submit(Request::Insert {
+        id: JobId(0),
+        window: Window::new(0, 256),
+    });
+    group.flush();
+    group.commit().unwrap();
+
+    let tc = TraceCtx::mint(1_234, 7);
+    for i in 1..9u64 {
+        group.submit(Request::Insert {
+            id: JobId(i),
+            window: Window::new(0, 256),
+        });
+    }
+    group.primary_mut().engine_mut().arm_trace(tc);
+    let (report, shipped) = group.flush();
+    assert_eq!(report.processed(), 8);
+    let committed = group.commit().unwrap();
+    assert!(committed >= shipped);
+
+    // Primary's ring: flush span end + quorum_ack point under the id.
+    let p_events = pt.trace_events();
+    for key in ["flush", "quorum_ack"] {
+        assert!(
+            p_events.iter().any(|e| e.key == key && e.trace == tc.id),
+            "primary ring missing traced '{key}': {p_events:?}"
+        );
+    }
+    // Replica's ring: the apply landed under the SAME id (it crossed
+    // the frame boundary as the out-of-band annotation).
+    let r_events = rt.trace_events();
+    assert!(
+        r_events
+            .iter()
+            .any(|e| e.key == "apply" && e.trace == tc.id),
+        "replica ring missing traced apply: {r_events:?}"
+    );
+    // The warm-up batch stayed untraced.
+    assert!(p_events.iter().any(|e| e.key == "flush" && e.trace == 0));
+    // And tracing never touched digested state.
+    assert_eq!(
+        replica.lock().unwrap().state_digest(),
+        Some(group.primary().engine().state_digest())
+    );
 }
 
 /// Per-link instruments over the real TCP transport: bytes shipped and

@@ -99,7 +99,7 @@ use realloc_core::router::{tenant_of, Router, RouterError};
 use realloc_core::snapshot::{Fields, Restorable, SnapshotNode, SnapshotWriter};
 use realloc_core::textio::ParseError;
 use realloc_core::{Error, JobId, Request, RequestSeq, ValidationError, Window};
-use realloc_telemetry::{Histogram, Severity, Telemetry};
+use realloc_telemetry::{Histogram, Severity, Telemetry, TraceCtx};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -280,7 +280,23 @@ pub struct Engine {
     coalesce: Option<CoalesceConfig>,
     /// Consecutive [`Engine::flush_coalesced`] calls deferred so far.
     deferred: u32,
+    /// Causal trace context for the *next* serviced flush (set by
+    /// [`Engine::flush_batch_traced`]). Runtime metadata only: it tags
+    /// trace-ring events and replication-frame annotations, never
+    /// journal text or digested state. Survives coalescing deferrals —
+    /// a deferred tick leaves it armed for the flush that actually
+    /// services the queue.
+    pending_trace: Option<TraceCtx>,
+    /// Trace contexts of recently serviced batches, by batch number
+    /// (bounded to the newest [`FLUSH_TRACE_WINDOW`]): lets replication
+    /// stamping and the durable-fsync span look a batch's trace back up
+    /// after the flush consumed `pending_trace`.
+    flush_traces: BTreeMap<u64, TraceCtx>,
 }
+
+/// How many recent batches keep their trace context for lookup by
+/// [`Engine::trace_of_batch`].
+const FLUSH_TRACE_WINDOW: usize = 16;
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -327,6 +343,8 @@ impl Engine {
             tele: None,
             coalesce: None,
             deferred: 0,
+            pending_trace: None,
+            flush_traces: BTreeMap::new(),
         }
     }
 
@@ -552,8 +570,12 @@ impl Engine {
         // (explicit flush, checkpoint, flush_durable) consumed the
         // queue, the deferral budget starts fresh.
         self.deferred = 0;
+        let trace = self.pending_trace.take();
+        if let Some(tc) = trace {
+            self.remember_trace(self.batches, tc);
+        }
         if self.tele.is_some() {
-            return self.flush_instrumented();
+            return self.flush_instrumented(trace);
         }
         let mut drains: Vec<ShardDrain> = Vec::with_capacity(self.shards.len());
         match &self.pool {
@@ -644,11 +666,31 @@ impl Engine {
     /// must not continue past a hole), in-memory serving continues.
     fn durability_fail(&mut self, message: String) {
         if let Some(tele) = &self.tele {
-            tele.t.point(Severity::Warn, "durability_error", 0, 0);
+            // An incident, not a plain point: fires the registered
+            // flight-recorder hook so the ring around the failure is
+            // dumped before it scrolls away.
+            tele.t.incident("durability_error", 0, 0);
         }
         if self.durability_error.is_none() {
             self.durability_error = Some(message);
         }
+    }
+
+    /// Remembers a serviced batch's trace context for later lookup,
+    /// keeping only the newest [`FLUSH_TRACE_WINDOW`] entries.
+    fn remember_trace(&mut self, batch: u64, tc: TraceCtx) {
+        self.flush_traces.insert(batch, tc);
+        while self.flush_traces.len() > FLUSH_TRACE_WINDOW {
+            self.flush_traces.pop_first();
+        }
+    }
+
+    /// The causal trace context recorded for `batch`, when that batch
+    /// was traced and recent (the engine keeps the newest
+    /// [`FLUSH_TRACE_WINDOW`] entries). Replication stamping uses this
+    /// to annotate the frame that ships a traced batch.
+    pub fn trace_of_batch(&self, batch: u64) -> Option<TraceCtx> {
+        self.flush_traces.get(&batch).copied()
     }
 
     /// [`Engine::flush`] with the telemetry bracketing: phase timings
@@ -656,12 +698,20 @@ impl Engine {
     /// lifetime counters, and the exact-cost adaptation. Identical
     /// scheduling outcomes to the plain path — instrumentation only ever
     /// reads the drains.
-    fn flush_instrumented(&mut self) -> BatchReport {
+    fn flush_instrumented(&mut self, trace: Option<TraceCtx>) -> BatchReport {
         let mut tele = self.tele.take().expect("flush checked tele presence");
         let start = tele.now();
-        let span = tele.t.span("flush", self.batches);
+        let span = match trace {
+            Some(tc) => tele.t.span_in(tc, "flush", self.batches),
+            None => tele.t.span("flush", self.batches),
+        };
         if let Some(at) = tele.first_enqueue_at.take() {
-            tele.queue_wait.record(start.saturating_sub(at));
+            let wait = start.saturating_sub(at);
+            tele.queue_wait.record(wait);
+            if let Some(tc) = trace {
+                tele.t
+                    .point_in(tc, Severity::Debug, "queue", self.batches, wait);
+            }
         }
         let mut drains: Vec<ShardDrain> = Vec::with_capacity(self.shards.len());
         match &self.pool {
@@ -817,7 +867,16 @@ impl Engine {
         if let Some(e) = &self.durability_error {
             return Err(e.clone());
         }
-        if let Err(e) = self.sink.as_mut().expect("checked above").sync() {
+        // The flush consumed `pending_trace`; look the batch's context
+        // back up so the group-commit fsync lands in the same trace.
+        let trace = self.trace_of_batch(report.batch);
+        let span = self.tele.as_ref().map(|tele| match trace {
+            Some(tc) => tele.t.span_in(tc, "fsync", report.batch),
+            None => tele.t.span("fsync", report.batch),
+        });
+        let synced = self.sink.as_mut().expect("checked above").sync();
+        drop(span);
+        if let Err(e) = synced {
             self.durability_fail(e.clone());
             return Err(e);
         }
@@ -836,6 +895,35 @@ impl Engine {
             FlushMode::Coalesced => Ok(self.flush_coalesced()),
             FlushMode::Durable => self.flush_durable().map(Some),
         }
+    }
+
+    /// [`Engine::flush_batch`] carrying a sampled request's causal
+    /// trace context as batch *metadata*: the flush's trace-ring spans
+    /// (`queue`/`flush`/`fsync`) record under the trace id, and
+    /// replication stamping annotates the frame that ships the batch.
+    /// The context is runtime-only — it never enters journal text,
+    /// snapshots, or digested state, so traced and untraced runs are
+    /// byte-identical on the replication wire's digested content. A
+    /// coalescing deferral keeps the context armed for the flush that
+    /// eventually services the queue.
+    pub fn flush_batch_traced(
+        &mut self,
+        mode: FlushMode,
+        trace: Option<TraceCtx>,
+    ) -> Result<Option<BatchReport>, String> {
+        if let Some(tc) = trace {
+            self.arm_trace(tc);
+        }
+        self.flush_batch(mode)
+    }
+
+    /// Arms a causal trace context for the next flush without flushing —
+    /// for embedders whose flush is driven elsewhere (e.g. a replication
+    /// group wrapping this engine). Equivalent to the trace half of
+    /// [`Engine::flush_batch_traced`]; a later arm before the flush
+    /// happens replaces the earlier context.
+    pub fn arm_trace(&mut self, trace: TraceCtx) {
+        self.pending_trace = Some(trace);
     }
 
     /// Every active job's `(shard, machine, slot)` placement, sorted by
@@ -1654,6 +1742,8 @@ impl Restorable for Engine {
             tele: None,
             coalesce: None,
             deferred: 0,
+            pending_trace: None,
+            flush_traces: BTreeMap::new(),
         })
     }
 }

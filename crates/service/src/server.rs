@@ -28,10 +28,10 @@ use realloc_core::clock::Clock;
 use realloc_core::textio::{read_frame, write_frame};
 use realloc_core::Request;
 use realloc_engine::{Engine, FlushMode, TenantId};
-use realloc_telemetry::Telemetry;
+use realloc_telemetry::{Severity, Telemetry, TraceCtx};
 use std::io::{BufRead as _, BufReader, BufWriter, ErrorKind, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -55,6 +55,15 @@ pub struct ServiceConfig {
     /// `ok queued …` and service later; [`FlushMode::Durable`] group-
     /// commits to the attached store before answering.
     pub flush: FlushMode,
+    /// Causal-trace sampling: every Nth batch that admits a mutation
+    /// mints a [`realloc_telemetry::TraceCtx`] at receipt, threads it
+    /// through the engine flush (and, when the engine is replicated,
+    /// onto the shipped frame as an out-of-band annotation), and
+    /// suffixes the admitted replies with ` trace <id>` so the client
+    /// can correlate its request with every node's trace ring. `0`
+    /// disables tracing (the default); `1` traces every batch. Needs
+    /// enabled telemetry to have any effect.
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +73,7 @@ impl Default for ServiceConfig {
             read_timeout: Some(Duration::from_secs(60)),
             max_batch: 128,
             flush: FlushMode::Immediate,
+            trace_sample_every: 0,
         }
     }
 }
@@ -75,6 +85,9 @@ struct Shared {
     tele: Option<Arc<ServiceTele>>,
     clock: Clock,
     config: ServiceConfig,
+    /// Monotone batch counter driving trace sampling (and salting the
+    /// minted ids, so two batches in the same nanosecond still differ).
+    trace_seq: AtomicU64,
 }
 
 /// The serving front-end: owns the accept loop and the shared engine.
@@ -107,6 +120,7 @@ impl ServiceServer {
             tele: ServiceTele::build(telemetry),
             clock,
             config,
+            trace_seq: AtomicU64::new(0),
         });
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
@@ -313,6 +327,37 @@ fn serve_batch(
         }
     }
 
+    // Mint the causal trace at receipt: every Nth batch that admits at
+    // least one mutation gets a sampled context, recorded here (receipt
+    // and admission outcome) and threaded through the flush as batch
+    // metadata — the same id later shows up on the engine's flush/fsync
+    // spans, the shipped replication frame, the replicas' apply events,
+    // and the client's annotated replies.
+    let trace = match &shared.tele {
+        Some(tele) if shared.config.trace_sample_every > 0 && !to_submit.is_empty() => {
+            let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+            seq.is_multiple_of(shared.config.trace_sample_every)
+                .then(|| {
+                    let tc = TraceCtx::mint(t0, seq);
+                    tele.t
+                        .point_in(tc, Severity::Debug, "receipt", frames.len() as u64, t0);
+                    let shed = replies
+                        .iter()
+                        .filter(|r| matches!(r, Some(Reply::Overloaded(_))))
+                        .count();
+                    tele.t.point_in(
+                        tc,
+                        Severity::Debug,
+                        "admit",
+                        to_submit.len() as u64,
+                        shed as u64,
+                    );
+                    tc
+                })
+        }
+        _ => None,
+    };
+
     let mut admitted: Vec<InFlight> = Vec::new();
     {
         let mut engine = match shared.engine.lock() {
@@ -342,7 +387,7 @@ fn serve_batch(
         }
 
         if !admitted.is_empty() {
-            match engine.flush_batch(shared.config.flush) {
+            match engine.flush_batch_traced(shared.config.flush, trace) {
                 Ok(Some(report)) => {
                     // Map this batch's failures back onto their
                     // commands: first unconsumed failure matching the
@@ -399,8 +444,22 @@ fn serve_batch(
     } // engine lock released; admission guards still held until replied
 
     // Replies in command order, one writer flush for the whole batch.
-    for reply in replies.iter().flatten() {
-        write_frame(writer, reply.to_text().as_bytes())?;
+    // A traced batch suffixes its admitted mutations' replies with
+    // ` trace <id>` — clients correlate, untraced replies are untouched.
+    for (i, reply) in replies.iter().enumerate() {
+        let Some(reply) = reply else { continue };
+        let mut text = reply.to_text();
+        if let Some(tc) = trace {
+            if matches!(
+                reply,
+                Reply::Placed(_) | Reply::Removed(_) | Reply::Queued(_)
+            ) && admitted.iter().any(|f| f.slot == i)
+            {
+                use std::fmt::Write as _;
+                write!(text, " trace {}", tc.id).expect("string write");
+            }
+        }
+        write_frame(writer, text.as_bytes())?;
     }
     writer.flush()?;
 

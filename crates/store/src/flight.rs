@@ -1,0 +1,228 @@
+//! The flight recorder: on incident, snapshot the telemetry registry
+//! and trace ring to a durable file.
+//!
+//! Trace rings are *in-memory* and bounded — by the time an operator
+//! attaches to a node that lost quorum an hour ago, the interesting
+//! events have long been overwritten. The [`FlightRecorder`] closes
+//! that gap: [`FlightRecorder::install`] hooks the registry's incident
+//! path ([`realloc_telemetry::Telemetry::incident`] — quorum lost,
+//! drain timeout, durability error), and every firing dumps the full
+//! metrics exposition plus the trace ring to a sequenced file through
+//! the same [`StoreIo`] abstraction the durable store writes through —
+//! so the crash matrix's fault injection covers dump I/O too, and tests
+//! capture dumps with [`crate::MemIo`] without touching a disk.
+//!
+//! Dumps are advisory diagnostics, not durability state: a dump that
+//! fails to write is counted (`flight_dump_errors_total`) and dropped —
+//! an incident must never escalate into a crash because the disk was
+//! the problem all along.
+
+use crate::io::StoreIo;
+use realloc_telemetry::Telemetry;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File-name prefix of every dump ([`FlightRecorder::dumps`] filters
+/// on it).
+pub const FLIGHT_PREFIX: &str = "flight-";
+
+/// Dumps registry + trace-ring snapshots to durable files on incident;
+/// see the module docs.
+pub struct FlightRecorder {
+    io: Arc<dyn StoreIo>,
+    dir: PathBuf,
+    telemetry: Telemetry,
+    seq: AtomicU64,
+    dump_errors: realloc_telemetry::Counter,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("dir", &self.dir)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder dumping snapshots of `telemetry` into `dir`
+    /// through `io` (the directory is created if missing). Existing
+    /// dumps are preserved: numbering resumes past the highest present,
+    /// so a restarted node never overwrites its pre-crash evidence.
+    pub fn create(
+        io: Arc<dyn StoreIo>,
+        dir: impl Into<PathBuf>,
+        telemetry: &Telemetry,
+    ) -> std::io::Result<FlightRecorder> {
+        let dir = dir.into();
+        io.create_dir_all(&dir)?;
+        let next = io
+            .list_dir(&dir)?
+            .iter()
+            .filter_map(|name| parse_seq(name))
+            .max()
+            .map_or(0, |hi| hi + 1);
+        Ok(FlightRecorder {
+            io,
+            dir,
+            telemetry: telemetry.clone(),
+            seq: AtomicU64::new(next),
+            dump_errors: telemetry.counter("flight_dump_errors_total"),
+        })
+    }
+
+    /// The dump directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes one dump now and returns its file name. `reason` is
+    /// sanitized into the name (lowercased; anything outside
+    /// `[a-z0-9_-]` becomes `_`) and recorded verbatim in the header.
+    /// The file carries the registry exposition and the trace ring,
+    /// fsync'd (file + directory) before returning.
+    pub fn dump(&self, reason: &str) -> std::io::Result<String> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at = self.telemetry.now_nanos();
+        let name = format!("{FLIGHT_PREFIX}{seq:06}-{}.log", sanitize(reason));
+        let path = self.dir.join(&name);
+        let mut body = String::with_capacity(1024);
+        body.push_str(&format!("# flight recorder dump {seq} at {at}ns\n"));
+        body.push_str(&format!("# reason: {reason}\n"));
+        body.push_str("# --- metrics ---\n");
+        body.push_str(&self.telemetry.render_text());
+        body.push_str("# --- trace ring ---\n");
+        body.push_str(&self.telemetry.render_trace());
+        self.io.append(&path, body.as_bytes())?;
+        self.io.sync_file(&path)?;
+        self.io.sync_dir(&self.dir)?;
+        Ok(name)
+    }
+
+    /// Hooks this recorder into its registry's incident path: every
+    /// [`realloc_telemetry::Telemetry::incident`] (quorum lost, drain
+    /// timeout, durability error, …) dumps a snapshot named after the
+    /// incident key. Failed dumps bump `flight_dump_errors_total` and
+    /// are otherwise swallowed — diagnostics must not crash the node.
+    /// Replaces any previously installed hook on the registry.
+    pub fn install(self: &Arc<Self>) {
+        let recorder = Arc::clone(self);
+        self.telemetry
+            .set_incident_hook(Arc::new(move |key: &'static str| {
+                if recorder.dump(key).is_err() {
+                    recorder.dump_errors.inc();
+                }
+            }));
+    }
+
+    /// Dump file names present in the directory, oldest first.
+    pub fn dumps(&self) -> std::io::Result<Vec<String>> {
+        let mut names: Vec<String> = self
+            .io
+            .list_dir(&self.dir)?
+            .into_iter()
+            .filter(|n| n.starts_with(FLIGHT_PREFIX))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    /// Reads one dump back as text (hostile bytes become U+FFFD — the
+    /// dump is for humans, not parsers).
+    pub fn read_dump(&self, name: &str) -> std::io::Result<String> {
+        let bytes = self.io.read_file(&self.dir.join(name))?;
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+}
+
+/// `flight-000042-reason.log` → `Some(42)`.
+fn parse_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix(FLIGHT_PREFIX)?;
+    let digits = rest.split('-').next()?;
+    digits.parse::<u64>().ok()
+}
+
+fn sanitize(reason: &str) -> String {
+    let mut out: String = reason
+        .chars()
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_' | '-') => c,
+            _ => '_',
+        })
+        .take(48)
+        .collect();
+    if out.is_empty() {
+        out.push_str("incident");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+    use realloc_telemetry::{Clock, Severity, Telemetry};
+
+    fn recorder() -> (Arc<FlightRecorder>, Telemetry) {
+        let t = Telemetry::with_clock(Clock::manual(), 64);
+        let io: Arc<dyn StoreIo> = Arc::new(MemIo::new());
+        let rec = Arc::new(FlightRecorder::create(io, "/flight", &t).unwrap());
+        (rec, t)
+    }
+
+    #[test]
+    fn dump_captures_metrics_and_trace_ring() {
+        let (rec, t) = recorder();
+        t.counter("demo_total").add(3);
+        t.point(Severity::Info, "boot", 1, 2);
+        let name = rec.dump("manual check").unwrap();
+        assert_eq!(name, "flight-000000-manual_check.log");
+        let text = rec.read_dump(&name).unwrap();
+        assert!(text.contains("# reason: manual check"), "{text}");
+        assert!(text.contains("demo_total 3"), "{text}");
+        assert!(text.contains("info point boot 1 2"), "{text}");
+        assert_eq!(rec.dumps().unwrap(), vec![name]);
+    }
+
+    #[test]
+    fn installed_hook_dumps_on_incident() {
+        let (rec, t) = recorder();
+        rec.install();
+        t.incident("quorum_lost", 2, 1);
+        t.incident("drain_timeout", 5, 3);
+        let dumps = rec.dumps().unwrap();
+        assert_eq!(
+            dumps,
+            vec![
+                "flight-000000-quorum_lost.log".to_string(),
+                "flight-000001-drain_timeout.log".to_string()
+            ]
+        );
+        // The dump captures the incident's own Warn point too (the
+        // point records before the hook fires).
+        let text = rec.read_dump(&dumps[0]).unwrap();
+        assert!(text.contains("warn point quorum_lost 2 1"), "{text}");
+    }
+
+    #[test]
+    fn numbering_resumes_past_existing_dumps() {
+        let t = Telemetry::with_clock(Clock::manual(), 64);
+        let io: Arc<dyn StoreIo> = Arc::new(MemIo::new());
+        let rec = Arc::new(FlightRecorder::create(Arc::clone(&io), "/f", &t).unwrap());
+        rec.dump("one").unwrap();
+        drop(rec);
+        let rec2 = Arc::new(FlightRecorder::create(io, "/f", &t).unwrap());
+        let name = rec2.dump("two").unwrap();
+        assert_eq!(name, "flight-000001-two.log");
+        assert_eq!(rec2.dumps().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn hostile_reasons_sanitize_into_the_name() {
+        let (rec, _t) = recorder();
+        let name = rec.dump("../../etc/passwd: Quorum LOST!").unwrap();
+        assert_eq!(name, "flight-000000-______etc_passwd__quorum_lost_.log");
+    }
+}

@@ -24,6 +24,10 @@
 //!   every write/fsync boundary in every crash mode, recover, and
 //!   require that every *acknowledged* flush survives byte-identically
 //!   and [`realloc_engine::Engine::validate`] holds.
+//! * [`flight`] — the [`FlightRecorder`]: on telemetry incidents
+//!   (quorum lost, drain timeout, durability error) dump the metrics
+//!   registry and trace ring to a durable file through the same
+//!   [`StoreIo`] layer, before the ring overwrites the evidence.
 //!
 //! # Guarantees
 //!
@@ -40,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod format;
 pub mod harness;
 pub mod io;
 pub mod store;
 mod tele;
 
+pub use flight::{FlightRecorder, FLIGHT_PREFIX};
 pub use format::{
     append_record, checkpoint_file_name, classify, segment_file_name, FileKind, RecordFault,
     RecordReader, MAX_RECORD_BYTES,

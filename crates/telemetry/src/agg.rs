@@ -1,0 +1,671 @@
+//! The fleet aggregation plane: a [`Collector`] that polls N
+//! [`crate::ObsServer`]s over TCP and folds their per-node registries
+//! into one coherent picture — per-replica replication lag, quorum
+//! headroom, shed/p99 SLO burn, and stall detection — rendered as a
+//! unified text dashboard plus one machine-readable JSON line per poll.
+//!
+//! # Derived signals
+//!
+//! * **Replication lag** — the primary's `cluster_next_seq − 1` (the
+//!   highest frame it has stamped) minus a replica's
+//!   `cluster_replica_last_seq`. Zero means caught up.
+//! * **Quorum headroom** — reachable replicas minus the configured
+//!   quorum; negative means the group cannot commit right now.
+//! * **Shed ratio** — `Δservice_shed_total / Δservice_requests_total`
+//!   between consecutive polls.
+//! * **p99 burn rate** — the worst per-tenant
+//!   `service_request_nanos{tenant,quantile="0.99"}` divided by the
+//!   configured SLO; above 1.0 the SLO is being burned.
+//! * **Stall** — frames are being shipped (the primary's
+//!   `cluster_frames_*_total` sum advanced since the previous poll) but
+//!   a replica's `cluster_replica_events_applied` did not move. One
+//!   comparison against the previous poll, so an induced stall is
+//!   flagged within two poll intervals.
+//!
+//! Each node is scraped with a role-scoped `metrics <prefix>` filter
+//! (satellite of the same PR), so a large fleet doesn't ship its full
+//! registries every tick. A node whose scrape fails — connect refused,
+//! read timeout against a half-dead server — is marked `unreachable`
+//! for that poll and the collector keeps polling the rest; the client
+//! is dropped so the next poll redials.
+
+use crate::obs::ObsClient;
+use crate::parse_sample;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// What a polled node is, which decides the scrape filter and which
+/// derived signals it feeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// The QoS serving tier (`service_*` metrics).
+    Service,
+    /// The replication primary (`cluster_*` metrics).
+    Primary,
+    /// A replication replica (`cluster_replica_*` metrics).
+    Replica,
+}
+
+impl NodeRole {
+    /// Stable lowercase name (dashboard and JSON exposition).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeRole::Service => "service",
+            NodeRole::Primary => "primary",
+            NodeRole::Replica => "replica",
+        }
+    }
+
+    /// The `metrics <prefix>` filter used when scraping this role.
+    fn scrape_prefix(self) -> &'static str {
+        match self {
+            NodeRole::Service => "service_",
+            NodeRole::Primary => "cluster_",
+            NodeRole::Replica => "cluster_replica_",
+        }
+    }
+}
+
+/// One node the collector polls.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Display name (dashboard row / JSON field).
+    pub name: String,
+    /// The node's [`crate::ObsServer`] address, `host:port`.
+    pub addr: String,
+    /// Role; decides the scrape filter and derived signals.
+    pub role: NodeRole,
+}
+
+impl NodeSpec {
+    /// A node spec.
+    pub fn new(name: impl Into<String>, addr: impl Into<String>, role: NodeRole) -> NodeSpec {
+        NodeSpec {
+            name: name.into(),
+            addr: addr.into(),
+            role,
+        }
+    }
+}
+
+/// Collector policy.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectorConfig {
+    /// Per-fetch read timeout; a half-dead server costs one poll this
+    /// long, not a hang. `None` trusts every node to answer.
+    pub read_timeout: Option<Duration>,
+    /// Replica acks needed for a group commit (for quorum headroom).
+    pub quorum: usize,
+    /// The per-tenant p99 service-time SLO, in nanos (burn-rate
+    /// denominator).
+    pub slo_p99_nanos: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            quorum: 1,
+            slo_p99_nanos: 50_000_000,
+        }
+    }
+}
+
+/// The samples one poll extracts from one node's filtered scrape.
+#[derive(Clone, Copy, Debug, Default)]
+struct Raw {
+    next_seq: Option<u64>,
+    committed_seq: Option<u64>,
+    shipped_frames: Option<u64>,
+    replica_last_seq: Option<u64>,
+    replica_applied: Option<u64>,
+    requests_total: Option<u64>,
+    shed_total: Option<u64>,
+    p99_worst_nanos: Option<u64>,
+}
+
+impl Raw {
+    fn parse(role: NodeRole, text: &str) -> Raw {
+        let mut raw = Raw::default();
+        match role {
+            NodeRole::Service => {
+                raw.requests_total = parse_sample(text, "service_requests_total");
+                raw.shed_total = parse_sample(text, "service_shed_total");
+                raw.p99_worst_nanos = worst_labeled_quantile(text, "service_request_nanos", "0.99");
+            }
+            NodeRole::Primary => {
+                raw.next_seq = parse_sample(text, "cluster_next_seq");
+                raw.committed_seq = parse_sample(text, "cluster_group_committed_seq");
+                let mut shipped = None;
+                for kind in ["events", "epoch", "check", "snapshot"] {
+                    if let Some(n) = parse_sample(text, &format!("cluster_frames_{kind}_total")) {
+                        shipped = Some(shipped.unwrap_or(0) + n);
+                    }
+                }
+                raw.shipped_frames = shipped;
+            }
+            NodeRole::Replica => {
+                raw.replica_last_seq = parse_sample(text, "cluster_replica_last_seq");
+                raw.replica_applied = parse_sample(text, "cluster_replica_events_applied");
+            }
+        }
+        raw
+    }
+}
+
+/// The worst (maximum) `base{…,quantile="q"}` sample across all label
+/// sets — e.g. the slowest tenant's p99.
+fn worst_labeled_quantile(text: &str, base: &str, q: &str) -> Option<u64> {
+    let quantile = format!("quantile=\"{q}\"");
+    let mut worst = None;
+    for line in text.lines() {
+        if line.starts_with('#') || !line.starts_with(base) {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if !name[base.len()..].starts_with('{') || !name.contains(&quantile) {
+            continue;
+        }
+        if let Ok(v) = value.parse::<u64>() {
+            worst = Some(worst.map_or(v, |w: u64| w.max(v)));
+        }
+    }
+    worst
+}
+
+/// One node's place in a [`FleetSnapshot`].
+#[derive(Clone, Debug)]
+pub struct NodeStatus {
+    /// Display name from the [`NodeSpec`].
+    pub name: String,
+    /// Role from the [`NodeSpec`].
+    pub role: NodeRole,
+    /// Whether this poll's scrape succeeded.
+    pub reachable: bool,
+    /// The node's `health` line (`ok …` / `err …`), when reachable.
+    pub health: Option<String>,
+    /// Replicas: frames behind the primary (`next_seq−1 − last_seq`).
+    pub lag: Option<u64>,
+    /// Replicas: shipped advanced but applied flat since the last poll.
+    pub stalled: bool,
+}
+
+impl NodeStatus {
+    /// Whether the node's health line reports a problem.
+    pub fn unhealthy(&self) -> bool {
+        self.health.as_deref().is_some_and(|h| h.starts_with("err"))
+    }
+}
+
+/// One poll's fleet-wide picture.
+#[derive(Clone, Debug)]
+pub struct FleetSnapshot {
+    /// 1-based poll counter.
+    pub poll: u64,
+    /// Per-node status, in [`Collector`] node order.
+    pub nodes: Vec<NodeStatus>,
+    /// Reachable replicas minus the configured quorum; negative means
+    /// commits are impossible right now. `None` without replicas.
+    pub quorum_headroom: Option<i64>,
+    /// `Δshed / Δrequests` since the last poll (0 when idle).
+    pub shed_ratio: Option<f64>,
+    /// Worst per-tenant p99 divided by the SLO; > 1.0 burns the SLO.
+    pub p99_burn: Option<f64>,
+}
+
+impl FleetSnapshot {
+    /// Whether any replica is stalled this poll.
+    pub fn any_stalled(&self) -> bool {
+        self.nodes.iter().any(|n| n.stalled)
+    }
+
+    /// Whether every node answered this poll.
+    pub fn all_reachable(&self) -> bool {
+        self.nodes.iter().all(|n| n.reachable)
+    }
+
+    /// The unified text dashboard: one header line of fleet signals,
+    /// one row per node.
+    pub fn render_dashboard(&self) -> String {
+        let reachable = self.nodes.iter().filter(|n| n.reachable).count();
+        let mut out = format!(
+            "# fleet poll {}: {}/{} reachable",
+            self.poll,
+            reachable,
+            self.nodes.len()
+        );
+        if let Some(h) = self.quorum_headroom {
+            let _ = write!(out, ", quorum headroom {h:+}");
+        }
+        if let Some(s) = self.shed_ratio {
+            let _ = write!(out, ", shed {:.1}%", s * 100.0);
+        }
+        if let Some(b) = self.p99_burn {
+            let _ = write!(out, ", p99 burn {b:.2}");
+        }
+        let stalled: Vec<&str> = self
+            .nodes
+            .iter()
+            .filter(|n| n.stalled)
+            .map(|n| n.name.as_str())
+            .collect();
+        if stalled.is_empty() {
+            out.push_str(", stall: none\n");
+        } else {
+            let _ = writeln!(out, ", STALL: {}", stalled.join(","));
+        }
+        for n in &self.nodes {
+            let _ = write!(out, "{:<8} {:<12}", n.role.as_str(), n.name);
+            if !n.reachable {
+                out.push_str(" unreachable\n");
+                continue;
+            }
+            out.push_str(if n.stalled { " STALLED" } else { " ok" });
+            if let Some(lag) = n.lag {
+                let _ = write!(out, " lag={lag}");
+            }
+            if let Some(h) = &n.health {
+                if h.starts_with("err") {
+                    let _ = write!(out, " [{h}]");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One machine-readable JSON line (objects and arrays only, no
+    /// external encoder): fleet signals plus a per-node array.
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!("{{\"poll\":{}", self.poll);
+        let _ = write!(out, ",\"stalled\":{}", self.any_stalled());
+        match self.quorum_headroom {
+            Some(h) => {
+                let _ = write!(out, ",\"quorum_headroom\":{h}");
+            }
+            None => out.push_str(",\"quorum_headroom\":null"),
+        }
+        match self.shed_ratio {
+            Some(s) => {
+                let _ = write!(out, ",\"shed_ratio\":{s:.6}");
+            }
+            None => out.push_str(",\"shed_ratio\":null"),
+        }
+        match self.p99_burn {
+            Some(b) => {
+                let _ = write!(out, ",\"p99_burn\":{b:.6}");
+            }
+            None => out.push_str(",\"p99_burn\":null"),
+        }
+        out.push_str(",\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"role\":\"{}\",\"reachable\":{},\"stalled\":{}",
+                json_escape(&n.name),
+                n.role.as_str(),
+                n.reachable,
+                n.stalled
+            );
+            match n.lag {
+                Some(lag) => {
+                    let _ = write!(out, ",\"lag\":{lag}");
+                }
+                None => out.push_str(",\"lag\":null"),
+            }
+            match &n.health {
+                Some(h) => {
+                    let _ = write!(out, ",\"health\":\"{}\"", json_escape(h));
+                }
+                None => out.push_str(",\"health\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Polls a fleet of [`crate::ObsServer`]s and derives cluster-wide
+/// signals; see the module docs. Connections are persistent across
+/// polls and redialed after any failure.
+#[derive(Debug)]
+pub struct Collector {
+    nodes: Vec<NodeSpec>,
+    config: CollectorConfig,
+    clients: Vec<Option<ObsClient>>,
+    prev: Vec<Option<Raw>>,
+    prev_service: Option<(u64, u64)>,
+    polls: u64,
+}
+
+impl Collector {
+    /// A collector over `nodes`.
+    pub fn new(nodes: Vec<NodeSpec>, config: CollectorConfig) -> Collector {
+        let n = nodes.len();
+        Collector {
+            nodes,
+            config,
+            clients: (0..n).map(|_| None).collect(),
+            prev: vec![None; n],
+            prev_service: None,
+            polls: 0,
+        }
+    }
+
+    /// The polled node specs, in poll order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    fn scrape(&mut self, i: usize) -> std::io::Result<(Raw, String)> {
+        let spec = self.nodes[i].clone();
+        if self.clients[i].is_none() {
+            let mut client = ObsClient::connect(&spec.addr)?;
+            client.set_read_timeout(self.config.read_timeout)?;
+            self.clients[i] = Some(client);
+        }
+        let client = self.clients[i].as_mut().expect("just connected");
+        let text = client.metrics_filtered(spec.role.scrape_prefix())?;
+        let health = client.health()?;
+        Ok((Raw::parse(spec.role, &text), health))
+    }
+
+    /// One poll over every node: scrape, derive, snapshot. Nodes whose
+    /// scrape fails are `unreachable` this poll (their connection is
+    /// dropped and redialed next poll); everyone else is still polled.
+    pub fn poll(&mut self) -> FleetSnapshot {
+        self.polls += 1;
+        let mut raws: Vec<Option<Raw>> = Vec::with_capacity(self.nodes.len());
+        let mut healths: Vec<Option<String>> = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            match self.scrape(i) {
+                Ok((raw, health)) => {
+                    raws.push(Some(raw));
+                    healths.push(Some(health));
+                }
+                Err(_) => {
+                    // Drop the client: redial on the next poll.
+                    self.clients[i] = None;
+                    raws.push(None);
+                    healths.push(None);
+                }
+            }
+        }
+
+        // Fleet-level inputs from the primary and service scrapes.
+        let primary_raw = self
+            .nodes
+            .iter()
+            .zip(&raws)
+            .find(|(s, _)| s.role == NodeRole::Primary)
+            .and_then(|(_, r)| *r);
+        let primary_tip = primary_raw
+            .and_then(|r| r.next_seq)
+            .map(|n| n.saturating_sub(1));
+        let shipped_advanced = {
+            let now = primary_raw.and_then(|r| r.shipped_frames);
+            let before = self
+                .nodes
+                .iter()
+                .zip(&self.prev)
+                .find(|(s, _)| s.role == NodeRole::Primary)
+                .and_then(|(_, r)| *r)
+                .and_then(|r| r.shipped_frames);
+            matches!((before, now), (Some(b), Some(n)) if n > b)
+        };
+
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut replicas_reachable = 0usize;
+        let mut has_replicas = false;
+        for (i, spec) in self.nodes.iter().enumerate() {
+            let raw = raws[i];
+            let mut status = NodeStatus {
+                name: spec.name.clone(),
+                role: spec.role,
+                reachable: raw.is_some(),
+                health: healths[i].clone(),
+                lag: None,
+                stalled: false,
+            };
+            if spec.role == NodeRole::Replica {
+                has_replicas = true;
+                if let Some(raw) = raw {
+                    replicas_reachable += 1;
+                    status.lag = match (primary_tip, raw.replica_last_seq) {
+                        (Some(tip), Some(last)) => Some(tip.saturating_sub(last)),
+                        _ => None,
+                    };
+                    // Stall: the primary shipped frames since the last
+                    // poll but this replica applied nothing new.
+                    if shipped_advanced {
+                        if let (Some(prev), Some(now)) = (
+                            self.prev[i].and_then(|p| p.replica_applied),
+                            raw.replica_applied,
+                        ) {
+                            status.stalled = now == prev;
+                        }
+                    }
+                }
+            }
+            nodes.push(status);
+        }
+
+        // Service-tier burn signals, as deltas between polls.
+        let service_raw = self
+            .nodes
+            .iter()
+            .zip(&raws)
+            .find(|(s, _)| s.role == NodeRole::Service)
+            .and_then(|(_, r)| *r);
+        let mut shed_ratio = None;
+        if let Some(raw) = service_raw {
+            if let (Some(req), Some(shed)) = (raw.requests_total, raw.shed_total) {
+                if let Some((preq, pshed)) = self.prev_service {
+                    let dreq = req.saturating_sub(preq);
+                    let dshed = shed.saturating_sub(pshed);
+                    shed_ratio = Some(if dreq == 0 {
+                        0.0
+                    } else {
+                        dshed as f64 / dreq as f64
+                    });
+                }
+                self.prev_service = Some((req, shed));
+            }
+        }
+        let p99_burn = service_raw
+            .and_then(|r| r.p99_worst_nanos)
+            .map(|p| p as f64 / self.config.slo_p99_nanos.max(1) as f64);
+
+        self.prev = raws;
+        FleetSnapshot {
+            poll: self.polls,
+            nodes,
+            quorum_headroom: has_replicas
+                .then(|| replicas_reachable as i64 - self.config.quorum as i64),
+            shed_ratio,
+            p99_burn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::ObsServer;
+    use crate::{labeled, Clock, Telemetry};
+
+    fn fake_primary() -> (Telemetry, ObsServer) {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        t.gauge("cluster_next_seq").set(1);
+        t.counter("cluster_frames_events_total").add(0);
+        let s = ObsServer::bind("127.0.0.1:0", t.clone()).unwrap();
+        (t, s)
+    }
+
+    fn fake_replica() -> (Telemetry, ObsServer) {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        t.gauge("cluster_replica_last_seq").set(0);
+        t.gauge("cluster_replica_events_applied").set(0);
+        let s = ObsServer::bind("127.0.0.1:0", t.clone()).unwrap();
+        (t, s)
+    }
+
+    #[test]
+    fn derives_lag_and_detects_stall_within_two_polls() {
+        let (pt, ps) = fake_primary();
+        let (rt, rs) = fake_replica();
+        let (st, ss) = fake_replica();
+        // The second replica keeps up; the first will stall.
+        let mut collector = Collector::new(
+            vec![
+                NodeSpec::new("prim", ps.addr().to_string(), NodeRole::Primary),
+                NodeSpec::new("r1", rs.addr().to_string(), NodeRole::Replica),
+                NodeSpec::new("r2", ss.addr().to_string(), NodeRole::Replica),
+            ],
+            CollectorConfig {
+                quorum: 1,
+                ..CollectorConfig::default()
+            },
+        );
+
+        // Poll 1: baseline, everyone healthy and caught up.
+        let snap = collector.poll();
+        assert!(snap.all_reachable());
+        assert!(!snap.any_stalled());
+        assert_eq!(snap.quorum_headroom, Some(1));
+
+        // Traffic flows; r1 stops applying, r2 keeps up.
+        pt.gauge("cluster_next_seq").set(8);
+        pt.counter("cluster_frames_events_total").add(7);
+        st.gauge("cluster_replica_last_seq").set(7);
+        st.gauge("cluster_replica_events_applied").set(7);
+
+        // Poll 2: one comparison against poll 1 — stall flagged now,
+        // i.e. within two poll intervals of inducing it.
+        let snap = collector.poll();
+        let r1 = &snap.nodes[1];
+        let r2 = &snap.nodes[2];
+        assert!(r1.stalled, "shipped advanced, r1 applied flat: {snap:?}");
+        assert!(!r2.stalled);
+        assert_eq!(r1.lag, Some(7), "next_seq-1 (7) - last_seq (0)");
+        assert_eq!(r2.lag, Some(0));
+        // Both expositions carry the stall.
+        let dash = snap.render_dashboard();
+        assert!(dash.contains("STALL: r1"), "{dash}");
+        assert!(dash.contains("STALLED"), "{dash}");
+        let json = snap.to_json_line();
+        assert!(json.contains("\"stalled\":true"), "{json}");
+        assert!(
+            json.contains(
+                "\"name\":\"r1\",\"role\":\"replica\",\"reachable\":true,\"stalled\":true"
+            ),
+            "{json}"
+        );
+
+        // r1 recovers and catches up; the stall clears.
+        rt.gauge("cluster_replica_last_seq").set(7);
+        rt.gauge("cluster_replica_events_applied").set(7);
+        pt.gauge("cluster_next_seq").set(9);
+        pt.counter("cluster_frames_events_total").add(1);
+        rt.gauge("cluster_replica_last_seq").set(8);
+        rt.gauge("cluster_replica_events_applied").set(8);
+        st.gauge("cluster_replica_last_seq").set(8);
+        st.gauge("cluster_replica_events_applied").set(8);
+        let snap = collector.poll();
+        assert!(!snap.any_stalled(), "{snap:?}");
+        assert!(snap.render_dashboard().contains("stall: none"));
+        assert!(snap.to_json_line().contains("\"stalled\":false"));
+    }
+
+    #[test]
+    fn unreachable_node_does_not_block_the_rest() {
+        let (_pt, ps) = fake_primary();
+        // A port with nothing listening: connect fails fast.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut collector = Collector::new(
+            vec![
+                NodeSpec::new("prim", ps.addr().to_string(), NodeRole::Primary),
+                NodeSpec::new("gone", dead_addr, NodeRole::Replica),
+            ],
+            CollectorConfig::default(),
+        );
+        let snap = collector.poll();
+        assert!(snap.nodes[0].reachable);
+        assert!(!snap.nodes[1].reachable);
+        assert!(!snap.nodes[1].stalled, "unreachable is not stalled");
+        assert_eq!(snap.quorum_headroom, Some(-1), "0 reachable - quorum 1");
+        let dash = snap.render_dashboard();
+        assert!(dash.contains("1/2 reachable"), "{dash}");
+        assert!(dash.contains("unreachable"), "{dash}");
+        assert!(snap.to_json_line().contains("\"reachable\":false"));
+        // The collector survives and keeps polling.
+        let snap = collector.poll();
+        assert!(snap.nodes[0].reachable);
+    }
+
+    #[test]
+    fn service_burn_signals_from_deltas() {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        t.counter("service_requests_total").add(100);
+        t.counter("service_shed_total").add(0);
+        t.histogram(labeled("service_request_nanos", "tenant", 3))
+            .record(80_000_000);
+        let s = ObsServer::bind("127.0.0.1:0", t.clone()).unwrap();
+        let mut collector = Collector::new(
+            vec![NodeSpec::new(
+                "svc",
+                s.addr().to_string(),
+                NodeRole::Service,
+            )],
+            CollectorConfig {
+                slo_p99_nanos: 50_000_000,
+                ..CollectorConfig::default()
+            },
+        );
+        let snap = collector.poll();
+        assert_eq!(snap.shed_ratio, None, "no previous poll yet");
+        let burn = snap.p99_burn.expect("p99 scraped");
+        assert!(burn > 1.0, "80ms p99 over a 50ms SLO burns: {burn}");
+
+        t.counter("service_requests_total").add(40);
+        t.counter("service_shed_total").add(10);
+        let snap = collector.poll();
+        let shed = snap.shed_ratio.expect("delta available");
+        assert!((shed - 0.25).abs() < 1e-9, "10/40 shed: {shed}");
+        assert!(
+            snap.to_json_line().contains("\"shed_ratio\":0.25"),
+            "{}",
+            snap.to_json_line()
+        );
+        // No replicas in this fleet: headroom is undefined, not 0.
+        assert_eq!(snap.quorum_headroom, None);
+    }
+}

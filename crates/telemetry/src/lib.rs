@@ -41,16 +41,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod hist;
 pub mod obs;
 pub mod render;
 pub mod trace;
 
+pub use agg::{Collector, CollectorConfig, FleetSnapshot, NodeRole, NodeSpec, NodeStatus};
 pub use hist::{Histogram, HIST_BUCKETS};
-pub use obs::{fetch_metrics, fetch_trace, ObsClient, ObsConfig, ObsServer};
+pub use obs::{fetch_metrics, fetch_trace, HealthCheck, ObsClient, ObsConfig, ObsServer};
 pub use realloc_core::clock::Clock;
 pub use render::parse_sample;
-pub use trace::{Severity, TraceBuffer, TraceEvent, TraceKind};
+pub use trace::{Severity, TraceBuffer, TraceCtx, TraceEvent, TraceKind};
 
 use realloc_core::snapshot::{Fields, SnapshotNode, SnapshotWriter};
 use realloc_core::textio::ParseError;
@@ -61,6 +63,27 @@ use std::sync::{Arc, Mutex};
 /// Default retained-event capacity of the trace ring buffer.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 
+/// Default cap on events rendered by [`Telemetry::render_trace`]. A full
+/// 1024-entry ring renders to tens of kilobytes — more than casual
+/// clients budget for one frame — so the bare `trace` verb shows the
+/// newest slice and callers page deeper with `trace <n>`.
+pub const DEFAULT_TRACE_RENDER_CAP: usize = 512;
+
+/// Callback invoked by [`Telemetry::incident`], after the triggering
+/// event is in the ring (the hook may itself render the ring).
+pub type IncidentHook = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+/// The hook slot needs a manual `Debug` (closures have none).
+#[derive(Default)]
+struct HookCell(Mutex<Option<IncidentHook>>);
+
+impl std::fmt::Debug for HookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let installed = self.0.lock().map(|g| g.is_some()).unwrap_or(false);
+        f.debug_tuple("HookCell").field(&installed).finish()
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     clock: Clock,
@@ -68,6 +91,7 @@ struct Shared {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     hists: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
     trace: TraceBuffer,
+    incident_hook: HookCell,
 }
 
 /// The no-op telemetry handle: every instrument it hands out does
@@ -117,6 +141,7 @@ impl Telemetry {
                 gauges: Mutex::new(BTreeMap::new()),
                 hists: Mutex::new(BTreeMap::new()),
                 trace: TraceBuffer::new(trace_capacity),
+                incident_hook: HookCell::default(),
             })),
         }
     }
@@ -197,6 +222,15 @@ impl Telemetry {
 
     /// Records an instantaneous trace event.
     pub fn point(&self, severity: Severity, key: &'static str, a: u64, b: u64) {
+        self.point_traced(0, severity, key, a, b);
+    }
+
+    /// [`Telemetry::point`] correlated to a causal trace id.
+    pub fn point_in(&self, trace: TraceCtx, severity: Severity, key: &'static str, a: u64, b: u64) {
+        self.point_traced(trace.id, severity, key, a, b);
+    }
+
+    fn point_traced(&self, trace: u64, severity: Severity, key: &'static str, a: u64, b: u64) {
         if let Some(s) = &self.inner {
             s.trace.record(TraceEvent {
                 at: s.clock.now_nanos(),
@@ -205,6 +239,7 @@ impl Telemetry {
                 key,
                 a,
                 b,
+                trace,
             });
         }
     }
@@ -212,6 +247,16 @@ impl Telemetry {
     /// Opens a trace span: records a `Begin` event now and an `End`
     /// event (with elapsed nanos in `b`) when the returned guard drops.
     pub fn span(&self, key: &'static str, a: u64) -> Span {
+        self.span_traced(0, key, a)
+    }
+
+    /// [`Telemetry::span`] correlated to a causal trace id: both the
+    /// `Begin` and the `End` event carry the id.
+    pub fn span_in(&self, trace: TraceCtx, key: &'static str, a: u64) -> Span {
+        self.span_traced(trace.id, key, a)
+    }
+
+    fn span_traced(&self, trace: u64, key: &'static str, a: u64) -> Span {
         let start = match &self.inner {
             Some(s) => {
                 let at = s.clock.now_nanos();
@@ -222,6 +267,7 @@ impl Telemetry {
                     key,
                     a,
                     b: 0,
+                    trace,
                 });
                 at
             }
@@ -232,6 +278,34 @@ impl Telemetry {
             key,
             a,
             start,
+            trace,
+        }
+    }
+
+    /// Installs the [`Telemetry::incident`] hook (e.g. a flight-recorder
+    /// dump). One hook per handle; installing replaces the previous one.
+    pub fn set_incident_hook(&self, hook: IncidentHook) {
+        if let Some(s) = &self.inner {
+            *s.incident_hook.0.lock().expect("incident hook poisoned") = Some(hook);
+        }
+    }
+
+    /// Records a `Warn` point for an operator-grade anomaly (quorum
+    /// loss, drain timeout, durability error) and then fires the
+    /// installed incident hook, if any. The event is in the ring
+    /// *before* the hook runs, so a hook that snapshots the ring
+    /// captures its own trigger; no ring lock is held across the call.
+    pub fn incident(&self, key: &'static str, a: u64, b: u64) {
+        let Some(s) = &self.inner else { return };
+        self.point(Severity::Warn, key, a, b);
+        let hook = s
+            .incident_hook
+            .0
+            .lock()
+            .expect("incident hook poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            hook(key);
         }
     }
 
@@ -286,25 +360,50 @@ impl Telemetry {
         render::render_registry(&counters, &gauges, &hists)
     }
 
-    /// Renders the trace ring as text, one event per line, oldest first
-    /// (the `trace` command of [`ObsServer`]).
+    /// [`Telemetry::render_text`] restricted to instruments whose name
+    /// starts with `prefix` (label suffixes included: `cluster_` matches
+    /// `cluster_link_acked_seq{replica="…"}`). Lets a fleet aggregator
+    /// poll just its derived-signal inputs instead of the full registry.
+    pub fn render_text_filtered(&self, prefix: &str) -> String {
+        let (mut counters, mut gauges, mut hists) = self.registry_contents();
+        counters.retain(|(n, _)| n.starts_with(prefix));
+        gauges.retain(|(n, _)| n.starts_with(prefix));
+        hists.retain(|(n, _)| n.starts_with(prefix));
+        render::render_registry(&counters, &gauges, &hists)
+    }
+
+    /// Renders the newest [`DEFAULT_TRACE_RENDER_CAP`] trace events (the
+    /// `trace` command of [`ObsServer`]). Use
+    /// [`Telemetry::render_trace_last`] to page deeper.
     pub fn render_trace(&self) -> String {
+        self.render_trace_last(DEFAULT_TRACE_RENDER_CAP)
+    }
+
+    /// Renders the newest `limit` trace events as text, one event per
+    /// line, oldest first (the `trace <n>` command of [`ObsServer`]).
+    /// The header says how much of the ring is shown, so a truncated
+    /// view is never mistaken for the whole history.
+    pub fn render_trace_last(&self, limit: usize) -> String {
         let events = self.trace_events();
+        let skip = events.len().saturating_sub(limit);
+        let shown = &events[skip..];
         let mut out = format!(
-            "# trace: {} event(s), oldest first: at severity kind key a b\n",
+            "# trace: showing {} of {} event(s), oldest first: at severity kind key a b trace\n",
+            shown.len(),
             events.len()
         );
-        for e in &events {
+        for e in shown {
             use std::fmt::Write as _;
             let _ = writeln!(
                 out,
-                "{} {} {} {} {} {}",
+                "{} {} {} {} {} {} {}",
                 e.at,
                 e.severity.as_str(),
                 e.kind.as_str(),
                 e.key,
                 e.a,
-                e.b
+                e.b,
+                e.trace
             );
         }
         out
@@ -508,6 +607,7 @@ pub struct Span {
     key: &'static str,
     a: u64,
     start: u64,
+    trace: u64,
 }
 
 impl Drop for Span {
@@ -521,6 +621,7 @@ impl Drop for Span {
                 key: self.key,
                 a: self.a,
                 b: at.saturating_sub(self.start),
+                trace: self.trace,
             });
         }
     }
@@ -614,5 +715,103 @@ mod tests {
         let doc =
             "# realloc snapshot v1\n!begin telemetry\n!begin hist h\nh 5 0 0\nb 0 1\n!end\n!end\n";
         assert!(t.restore_registry(doc).is_err());
+    }
+
+    #[test]
+    fn traced_events_carry_the_context_id() {
+        let clock = Clock::manual();
+        let t = Telemetry::with_clock(clock.clone(), 16);
+        let tc = TraceCtx::mint(7, 3);
+        t.point_in(tc, Severity::Info, "receipt", 1, 2);
+        {
+            let _s = t.span_in(tc, "flush", 5);
+            clock.advance(100);
+        }
+        t.point(Severity::Debug, "untraced", 0, 0);
+        let evs = t.trace_events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].trace, tc.id);
+        assert_eq!(evs[1].trace, tc.id, "span begin");
+        assert_eq!(evs[2].trace, tc.id, "span end");
+        assert_eq!(evs[3].trace, 0, "plain events stay untraced");
+        let text = t.render_trace();
+        assert!(
+            text.contains(&format!("info point receipt 1 2 {}", tc.id)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_trace_last_caps_and_reports_truncation() {
+        let t = Telemetry::with_clock(Clock::manual(), 32);
+        for i in 0..10u64 {
+            t.point(Severity::Debug, "tick", i, 0);
+        }
+        let text = t.render_trace_last(3);
+        assert!(
+            text.starts_with("# trace: showing 3 of 10 event(s)"),
+            "{text}"
+        );
+        // Newest 3 survive; older ones are paged out.
+        assert!(text.contains("tick 9 0"), "{text}");
+        assert!(text.contains("tick 7 0"), "{text}");
+        assert!(!text.contains("tick 6 0"), "{text}");
+        // The default render shows everything when under the cap.
+        let full = t.render_trace();
+        assert!(
+            full.starts_with("# trace: showing 10 of 10 event(s)"),
+            "{full}"
+        );
+    }
+
+    #[test]
+    fn filtered_render_keeps_only_the_prefix() {
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        t.counter("cluster_frames_total").add(3);
+        t.counter(labeled("cluster_link_acked_seq", "replica", "a"))
+            .add(9);
+        t.gauge("service_inflight").set(2);
+        t.histogram("engine_flush_nanos").record(50);
+        let text = t.render_text_filtered("cluster_");
+        assert_eq!(parse_sample(&text, "cluster_frames_total"), Some(3));
+        assert!(text.contains("cluster_link_acked_seq"), "{text}");
+        assert!(!text.contains("service_inflight"), "{text}");
+        assert!(!text.contains("engine_flush_nanos"), "{text}");
+        // The unfiltered render still has everything.
+        assert_eq!(parse_sample(&t.render_text(), "service_inflight"), Some(2));
+    }
+
+    #[test]
+    fn incident_records_then_fires_hook_with_ring_visible() {
+        use std::sync::atomic::AtomicUsize;
+        let t = Telemetry::with_clock(Clock::manual(), 16);
+        let seen = Arc::new(Mutex::new(Vec::<(String, usize)>::new()));
+        let hook_seen = Arc::clone(&seen);
+        let hook_tel = t.clone();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let hook_calls = Arc::clone(&calls);
+        t.set_incident_hook(Arc::new(move |key: &'static str| {
+            hook_calls.fetch_add(1, Ordering::SeqCst);
+            // The hook can render the ring (no lock is held) and must
+            // see the triggering event already recorded.
+            let events = hook_tel.trace_events();
+            hook_seen
+                .lock()
+                .unwrap()
+                .push((key.to_string(), events.len()));
+        }));
+        t.incident("quorum_lost", 2, 1);
+        t.incident("drain_timeout", 0, 0);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen[0], ("quorum_lost".to_string(), 1));
+        assert_eq!(seen[1], ("drain_timeout".to_string(), 2));
+        let evs = t.trace_events();
+        assert_eq!(evs[0].severity, Severity::Warn);
+        assert_eq!(evs[0].key, "quorum_lost");
+        // Disabled handles stay inert, hook installation included.
+        let d = disabled();
+        d.set_incident_hook(Arc::new(|_| panic!("never fires")));
+        d.incident("quorum_lost", 0, 0);
     }
 }

@@ -6,12 +6,20 @@
 //!
 //! Both directions carry [`realloc_core::textio::write_frame`] frames (a
 //! `u32` big-endian byte count, then the payload). The client sends one
-//! command per frame — `metrics` or `trace` — and the server answers
-//! with one frame holding the rendered text ([`Telemetry::render_text`]
-//! / [`Telemetry::render_trace`]); unknown commands get an `err …` line.
-//! A connection serves any number of commands (poll on a schedule), and
-//! the one-shot [`fetch_metrics`]/[`fetch_trace`] helpers connect, ask
-//! once, and disconnect.
+//! command per frame and the server answers with one frame of text;
+//! unknown commands get an `err …` line. A connection serves any number
+//! of commands (poll on a schedule), and the one-shot
+//! [`fetch_metrics`]/[`fetch_trace`] helpers connect, ask once, and
+//! disconnect.
+//!
+//! ```text
+//! metrics            → full registry ([`Telemetry::render_text`])
+//! metrics <prefix>   → registry filtered to names starting with <prefix>
+//! trace              → newest DEFAULT_TRACE_RENDER_CAP ring events
+//! trace <n>          → newest <n> ring events
+//! health             → "ok …" / "err …" from the node's health check
+//!                      ("ok no health check registered" without one)
+//! ```
 //!
 //! # Threading
 //!
@@ -35,6 +43,13 @@ const MAX_COMMAND_BYTES: u32 = 4096;
 
 /// Cap on one response frame (a rendered dump).
 const MAX_RESPONSE_BYTES: u32 = 16 << 20;
+
+/// A node-level health probe served under the `health` verb: returns an
+/// `ok …` line when the node is healthy and an `err …` line naming what
+/// is wrong (failed engine `validate()`, a sticky durability error, a
+/// poisoned handler). Runs on the observer connection's thread, so keep
+/// it cheap and never let it block on the serving path.
+pub type HealthCheck = Arc<dyn Fn() -> String + Send + Sync>;
 
 /// Handler-thread policy for [`ObsServer`] connections.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +91,17 @@ impl ObsServer {
         telemetry: Telemetry,
         config: ObsConfig,
     ) -> std::io::Result<ObsServer> {
+        Self::bind_full(addr, telemetry, config, None)
+    }
+
+    /// [`ObsServer::bind_with`] plus a node health probe served under
+    /// the `health` verb.
+    pub fn bind_full(
+        addr: impl ToSocketAddrs,
+        telemetry: Telemetry,
+        config: ObsConfig,
+        health: Option<HealthCheck>,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -92,11 +118,12 @@ impl ObsServer {
                     // pins its handler thread for the process lifetime.
                     let _ = stream.set_read_timeout(config.read_timeout);
                     let tel = telemetry.clone();
+                    let health = health.clone();
                     // Detached: handlers exit when their peer
                     // disconnects or goes quiet past the timeout.
                     let _ = std::thread::Builder::new()
                         .name("obs-conn".to_string())
-                        .spawn(move || serve_connection(stream, tel));
+                        .spawn(move || serve_connection(stream, tel, health));
                 }
             })?;
         Ok(ObsServer {
@@ -131,7 +158,7 @@ impl Drop for ObsServer {
 }
 
 /// One connection: read command → render → respond, until disconnect.
-fn serve_connection(stream: TcpStream, telemetry: Telemetry) {
+fn serve_connection(stream: TcpStream, telemetry: Telemetry, health: Option<HealthCheck>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -145,14 +172,36 @@ fn serve_connection(stream: TcpStream, telemetry: Telemetry) {
             Ok(None) | Err(_) => return,
         };
         let response = match std::str::from_utf8(&payload).map(str::trim) {
-            Ok("metrics") => telemetry.render_text(),
-            Ok("trace") => telemetry.render_trace(),
-            Ok(other) => format!("err unknown command '{other}' (expected 'metrics' or 'trace')"),
+            Ok(command) => dispatch(command, &telemetry, &health),
             Err(e) => format!("err command is not UTF-8: {e}"),
         };
         if write_frame(&mut writer, response.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
+    }
+}
+
+/// Routes one trimmed command line to its renderer.
+fn dispatch(command: &str, telemetry: &Telemetry, health: &Option<HealthCheck>) -> String {
+    let (verb, arg) = match command.split_once(char::is_whitespace) {
+        Some((v, rest)) => (v, rest.trim()),
+        None => (command, ""),
+    };
+    match (verb, arg) {
+        ("metrics", "") => telemetry.render_text(),
+        ("metrics", prefix) => telemetry.render_text_filtered(prefix),
+        ("trace", "") => telemetry.render_trace(),
+        ("trace", n) => match n.parse::<usize>() {
+            Ok(n) => telemetry.render_trace_last(n),
+            Err(_) => format!("err bad trace limit '{n}' (decimal count)"),
+        },
+        ("health", "") => match health {
+            Some(check) => check(),
+            None => "ok no health check registered".to_string(),
+        },
+        _ => format!(
+            "err unknown command '{command}' (expected 'metrics [prefix]', 'trace [n]' or 'health')"
+        ),
     }
 }
 
@@ -173,6 +222,14 @@ impl ObsClient {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
         })
+    }
+
+    /// Bounds how long one fetch waits for the server's response frame.
+    /// Without this, a half-dead server (accepted the connection, never
+    /// answers) hangs the poller forever; with it, the fetch surfaces a
+    /// timeout [`std::io::Error`] the caller can treat as "unreachable".
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends one command and returns the response text.
@@ -198,9 +255,25 @@ impl ObsClient {
         self.fetch("metrics")
     }
 
-    /// The trace ring as text, oldest first.
+    /// The registry filtered to names starting with `prefix`.
+    pub fn metrics_filtered(&mut self, prefix: &str) -> std::io::Result<String> {
+        self.fetch(&format!("metrics {prefix}"))
+    }
+
+    /// The trace ring as text, oldest first (newest-capped; see
+    /// [`crate::DEFAULT_TRACE_RENDER_CAP`]).
     pub fn trace(&mut self) -> std::io::Result<String> {
         self.fetch("trace")
+    }
+
+    /// The newest `n` trace ring events as text, oldest first.
+    pub fn trace_last(&mut self, n: usize) -> std::io::Result<String> {
+        self.fetch(&format!("trace {n}"))
+    }
+
+    /// The node's health line (`ok …` / `err …`).
+    pub fn health(&mut self) -> std::io::Result<String> {
+        self.fetch("health")
     }
 }
 
@@ -284,5 +357,94 @@ mod tests {
         tel.counter("obs_alive_total").add(1);
         let text = fetch_metrics(server.addr()).unwrap();
         assert_eq!(parse_sample(&text, "obs_alive_total"), Some(1));
+    }
+
+    #[test]
+    fn filtered_metrics_and_capped_trace_verbs() {
+        let tel = Telemetry::with_clock(Clock::manual(), 16);
+        tel.counter("cluster_frames_total").add(5);
+        tel.counter("service_reqs_total").add(9);
+        for i in 0..6u64 {
+            tel.point(Severity::Debug, "tick", i, 0);
+        }
+
+        let server = ObsServer::bind("127.0.0.1:0", tel.clone()).unwrap();
+        let mut client = ObsClient::connect(server.addr()).unwrap();
+
+        // `metrics <prefix>` ships only the matching slice…
+        let text = client.metrics_filtered("cluster_").unwrap();
+        assert_eq!(parse_sample(&text, "cluster_frames_total"), Some(5));
+        assert!(!text.contains("service_reqs_total"), "{text}");
+        // …while bare `metrics` is unchanged.
+        let text = client.metrics().unwrap();
+        assert_eq!(parse_sample(&text, "service_reqs_total"), Some(9));
+
+        // `trace <n>` pages the ring; the header reports truncation.
+        let trace = client.trace_last(2).unwrap();
+        assert!(
+            trace.starts_with("# trace: showing 2 of 6 event(s)"),
+            "{trace}"
+        );
+        assert!(trace.contains("tick 5 0"), "{trace}");
+        assert!(!trace.contains("tick 3 0"), "{trace}");
+        let err = client.fetch("trace banana").unwrap();
+        assert!(err.starts_with("err bad trace limit"), "{err}");
+
+        // `health` without a registered probe says so (and is `ok`).
+        let health = client.health().unwrap();
+        assert_eq!(health, "ok no health check registered");
+    }
+
+    #[test]
+    fn health_verb_runs_the_registered_probe() {
+        use std::sync::Mutex;
+
+        let tel = Telemetry::with_clock(Clock::manual(), 4);
+        let status = Arc::new(Mutex::new("ok all well".to_string()));
+        let probe_status = Arc::clone(&status);
+        let server = ObsServer::bind_full(
+            "127.0.0.1:0",
+            tel,
+            ObsConfig::default(),
+            Some(Arc::new(move || probe_status.lock().unwrap().clone())),
+        )
+        .unwrap();
+        let mut client = ObsClient::connect(server.addr()).unwrap();
+        assert_eq!(client.health().unwrap(), "ok all well");
+        // Live: the probe reflects current node state on every poll.
+        *status.lock().unwrap() = "err durability: fsync failed".to_string();
+        assert_eq!(client.health().unwrap(), "err durability: fsync failed");
+    }
+
+    /// Satellite: a half-dead server — accepts the connection but never
+    /// responds — must surface a timeout error to the poller, not hang
+    /// it. (The collector turns that error into `unreachable`.)
+    #[test]
+    fn client_read_timeout_surfaces_io_error_not_a_hang() {
+        // A raw listener that accepts and then goes silent.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let keep_alive = std::thread::spawn(move || {
+            // Hold the accepted socket open (don't EOF) until the test ends.
+            let conn = listener.accept().map(|(s, _)| s);
+            std::thread::sleep(Duration::from_secs(2));
+            drop(conn);
+        });
+
+        let mut client = ObsClient::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        let err = client.metrics().expect_err("must time out, not hang");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(1), "timed out late");
+        keep_alive.join().unwrap();
     }
 }

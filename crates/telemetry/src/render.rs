@@ -46,34 +46,64 @@ fn type_line(out: &mut String, last_base: &mut String, name: &str, kind: &str) {
     }
 }
 
-/// Renders the full registry contents (already sorted by name) as
-/// Prometheus text format.
+/// One instrument to render, in the globally sorted sequence.
+enum Row<'a> {
+    Scalar(&'a str, u64, &'a str),
+    Summary(&'a str, &'a Histogram),
+}
+
+/// Renders the full registry contents as Prometheus text format in ONE
+/// globally name-sorted sequence (counters, gauges and histograms
+/// interleaved by name, ties broken by kind). The ordering is pinned by
+/// a test: fleet aggregators diff successive scrapes and snapshot tests
+/// compare dumps byte-for-byte, so it must be deterministic and stable
+/// across runs and instrument-registration orders.
 pub(crate) fn render_registry(
     counters: &[(String, u64)],
     gauges: &[(String, u64)],
     hists: &[(String, Histogram)],
 ) -> String {
-    let mut out = String::with_capacity(1024);
-    let mut last_base = String::new();
+    let mut rows: Vec<(&str, Row<'_>)> =
+        Vec::with_capacity(counters.len() + gauges.len() + hists.len());
     for (name, value) in counters {
-        type_line(&mut out, &mut last_base, name, "counter");
-        let _ = writeln!(out, "{name} {value}");
+        rows.push((name, Row::Scalar(name, *value, "counter")));
     }
     for (name, value) in gauges {
-        type_line(&mut out, &mut last_base, name, "gauge");
-        let _ = writeln!(out, "{name} {value}");
+        rows.push((name, Row::Scalar(name, *value, "gauge")));
     }
     for (name, h) in hists {
-        type_line(&mut out, &mut last_base, name, "summary");
-        let (p50, p95, p99) = h.percentiles();
-        for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
-            let _ = writeln!(out, "{} {v}", with_label(name, "quantile", q));
+        rows.push((name, Row::Summary(name, h)));
+    }
+    rows.sort_by(|(a, ra), (b, rb)| a.cmp(b).then_with(|| kind_rank(ra).cmp(&kind_rank(rb))));
+    let mut out = String::with_capacity(1024);
+    let mut last_base = String::new();
+    for (_, row) in &rows {
+        match row {
+            Row::Scalar(name, value, kind) => {
+                type_line(&mut out, &mut last_base, name, kind);
+                let _ = writeln!(out, "{name} {value}");
+            }
+            Row::Summary(name, h) => {
+                type_line(&mut out, &mut last_base, name, "summary");
+                let (p50, p95, p99) = h.percentiles();
+                for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                    let _ = writeln!(out, "{} {v}", with_label(name, "quantile", q));
+                }
+                let _ = writeln!(out, "{} {}", with_suffix(name, "_sum"), h.sum());
+                let _ = writeln!(out, "{} {}", with_suffix(name, "_count"), h.count());
+                let _ = writeln!(out, "{} {}", with_suffix(name, "_max"), h.max());
+            }
         }
-        let _ = writeln!(out, "{} {}", with_suffix(name, "_sum"), h.sum());
-        let _ = writeln!(out, "{} {}", with_suffix(name, "_count"), h.count());
-        let _ = writeln!(out, "{} {}", with_suffix(name, "_max"), h.max());
     }
     out
+}
+
+fn kind_rank(row: &Row<'_>) -> u8 {
+    match row {
+        Row::Scalar(_, _, "counter") => 0,
+        Row::Scalar(..) => 1,
+        Row::Summary(..) => 2,
+    }
 }
 
 /// Reads one sample back out of a rendered dump: the value on the line
@@ -128,5 +158,39 @@ mod tests {
         assert_eq!(parse_sample(&text, "lat_nanos_max"), Some(40));
         assert!(parse_sample(&text, "lat_nanos{quantile=\"0.5\"}").is_some());
         assert_eq!(parse_sample(&text, "missing"), None);
+    }
+
+    /// Pins the exposition ordering: one globally name-sorted sequence,
+    /// regardless of instrument kind or registration order. Aggregator
+    /// diffs and snapshot tests rely on this being byte-stable.
+    #[test]
+    fn output_is_globally_name_sorted() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let text = render_registry(
+            &[("z_total".into(), 1), ("a_total".into(), 2)],
+            &[("m_gauge".into(), 3), ("b_gauge".into(), 4)],
+            &[("k_nanos".into(), h)],
+        );
+        assert_eq!(
+            text,
+            "\
+# TYPE a_total counter
+a_total 2
+# TYPE b_gauge gauge
+b_gauge 4
+# TYPE k_nanos summary
+k_nanos{quantile=\"0.5\"} 5
+k_nanos{quantile=\"0.95\"} 5
+k_nanos{quantile=\"0.99\"} 5
+k_nanos_sum 5
+k_nanos_count 1
+k_nanos_max 5
+# TYPE m_gauge gauge
+m_gauge 3
+# TYPE z_total counter
+z_total 1
+"
+        );
     }
 }

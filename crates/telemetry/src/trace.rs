@@ -60,7 +60,41 @@ impl TraceKind {
     }
 }
 
-/// One recorded event. `Copy`, 40 bytes: the ring stores these inline.
+/// A causal trace context: a sampled request's identity, minted once at
+/// the tier that first sees the request and threaded — as metadata, never
+/// as digested state — through every stage it touches. Events recorded
+/// with [`crate::Telemetry::point_in`]/[`crate::Telemetry::span_in`]
+/// carry the id, so one `grep <id>` over any node's trace ring yields
+/// that request's causal path on that node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceCtx {
+    /// The trace id; never 0 (0 means "untraced" in [`TraceEvent`]).
+    pub id: u64,
+    /// Clock nanos at the origin tier when the trace was minted.
+    pub origin_nanos: u64,
+}
+
+impl TraceCtx {
+    /// Mints a trace context from the origin timestamp and a per-node
+    /// sequence salt. The id is a splitmix64 finalize of the pair —
+    /// well-mixed so ids from different nodes or restarts don't collide
+    /// in practice — floored at 1 so it never aliases "untraced".
+    pub fn mint(origin_nanos: u64, salt: u64) -> TraceCtx {
+        let mut z = origin_nanos
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(salt)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        TraceCtx {
+            id: z.max(1),
+            origin_nanos,
+        }
+    }
+}
+
+/// One recorded event. `Copy`; the ring stores these inline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Clock nanos at record time.
@@ -75,6 +109,8 @@ pub struct TraceEvent {
     pub a: u64,
     /// Second payload word.
     pub b: u64,
+    /// Correlating trace id ([`TraceCtx::id`]); 0 = untraced.
+    pub trace: u64,
 }
 
 #[derive(Debug)]
@@ -167,7 +203,22 @@ mod tests {
             key: "t",
             a: at,
             b: 0,
+            trace: 0,
         }
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = TraceCtx::mint(0, 0);
+        let b = TraceCtx::mint(0, 1);
+        let c = TraceCtx::mint(1, 0);
+        assert_ne!(a.id, 0);
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.id, c.id);
+        assert_ne!(b.id, c.id);
+        assert_eq!(a.origin_nanos, 0);
+        // Deterministic: same inputs, same id.
+        assert_eq!(TraceCtx::mint(0, 0), a);
     }
 
     #[test]

@@ -69,9 +69,39 @@ pub enum QosResponse {
 
 impl QosResponse {
     /// Parses one response line. Unrecognized shapes become
-    /// [`QosResponse::Refused`] with the raw line as the reason.
+    /// [`QosResponse::Refused`] with the raw line as the reason. A
+    /// ` trace <id>` annotation on an admitted reply (traced serving
+    /// tier) is stripped; use [`QosResponse::parse_traced`] to keep it.
     pub fn parse(line: &str) -> QosResponse {
+        Self::parse_traced(line).0
+    }
+
+    /// [`QosResponse::parse`] that also returns the serving tier's
+    /// causal trace id when the reply carries a ` trace <id>` suffix —
+    /// the key into every node's trace ring for this request's spans.
+    /// Only admitted-mutation shapes (`placed`/`removed`/`queued`) are
+    /// ever annotated; the suffix is not stripped from other shapes
+    /// (an `err` reason legitimately containing the words stays whole).
+    pub fn parse_traced(line: &str) -> (QosResponse, Option<u64>) {
         let line = line.trim();
+        if let Some(pos) = line.rfind(" trace ") {
+            let tail = &line[pos + " trace ".len()..];
+            if let Ok(id) = tail.parse::<u64>() {
+                if id != 0 {
+                    let r = Self::parse_core(line[..pos].trim());
+                    if matches!(
+                        r,
+                        QosResponse::Placed(_) | QosResponse::Removed(_) | QosResponse::Queued(_)
+                    ) {
+                        return (r, Some(id));
+                    }
+                }
+            }
+        }
+        (Self::parse_core(line), None)
+    }
+
+    fn parse_core(line: &str) -> QosResponse {
         let fields: Vec<&str> = line.split_whitespace().collect();
         let num = |s: &&str| s.parse::<u64>().ok();
         match fields.as_slice() {
@@ -168,6 +198,12 @@ impl QosClient {
 
     /// Reads the next pipelined response, in command order.
     pub fn recv(&mut self) -> std::io::Result<QosResponse> {
+        self.recv_traced().map(|(r, _)| r)
+    }
+
+    /// [`QosClient::recv`] keeping the serving tier's causal trace id
+    /// when the reply was annotated ([`QosResponse::parse_traced`]).
+    pub fn recv_traced(&mut self) -> std::io::Result<(QosResponse, Option<u64>)> {
         let Some(payload) = read_frame(&mut self.reader, MAX_RESPONSE_BYTES)? else {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -181,7 +217,7 @@ impl QosClient {
                 format!("response is not UTF-8: {e}"),
             )
         })?;
-        Ok(QosResponse::parse(&text))
+        Ok(QosResponse::parse_traced(&text))
     }
 
     /// Responses shipped but not yet read.
@@ -284,6 +320,41 @@ pub fn drive_feed(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_annotations_parse_and_strip() {
+        assert_eq!(
+            QosResponse::parse_traced("ok placed 7 trace 99"),
+            (QosResponse::Placed(7), Some(99))
+        );
+        assert_eq!(
+            QosResponse::parse_traced("ok queued 3 trace 12345"),
+            (QosResponse::Queued(3), Some(12345))
+        );
+        // `parse` strips the suffix, so tallies stay correct under tracing.
+        assert_eq!(
+            QosResponse::parse("ok removed 7 trace 99"),
+            QosResponse::Removed(7)
+        );
+        // Untraced replies pass through; id 0 is the untraced sentinel;
+        // and non-admitted shapes keep the words (an err reason is never
+        // mistaken for an annotation).
+        assert_eq!(
+            QosResponse::parse_traced("ok placed 7"),
+            (QosResponse::Placed(7), None)
+        );
+        assert_eq!(
+            QosResponse::parse_traced("ok placed 7 trace 0"),
+            (
+                QosResponse::Refused("ok placed 7 trace 0".to_string()),
+                None
+            )
+        );
+        assert_eq!(
+            QosResponse::parse_traced("err lost trace 5"),
+            (QosResponse::Refused("lost trace 5".to_string()), None)
+        );
+    }
 
     #[test]
     fn responses_parse_shapes_and_admission() {

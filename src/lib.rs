@@ -119,8 +119,8 @@ pub mod sim {
 }
 
 pub use realloc_cluster::{
-    ApplyError, ClusterError, Frame, FrameSink, GroupError, Payload, Primary, Replica,
-    ReplicationGroup, TransportError,
+    ApplyError, ClusterError, Frame, FrameSink, GroupError, JournalRelay, Payload, Primary,
+    Replica, ReplicationGroup, TransportError,
 };
 pub use realloc_core::router::Router;
 pub use realloc_core::{
@@ -135,8 +135,11 @@ pub use realloc_engine::{
 pub use realloc_multi::{AdaptiveScheduler, ReallocatingScheduler, TheoremOneScheduler};
 pub use realloc_reservation::{DeamortizedScheduler, ReservationScheduler, TrimmedScheduler};
 pub use realloc_service::{QosConfig, RateLimit, ServiceConfig, ServiceServer};
-pub use realloc_store::{DurableStore, FaultIo, FsIo, MemIo, RecoverFromDir, StoreError, StoreIo};
+pub use realloc_store::{
+    DurableStore, FaultIo, FlightRecorder, FsIo, MemIo, RecoverFromDir, StoreError, StoreIo,
+};
 pub use realloc_telemetry::{
-    fetch_metrics, fetch_trace, labeled, parse_sample, Clock, ObsClient, ObsServer, Severity,
-    Telemetry,
+    fetch_metrics, fetch_trace, labeled, parse_sample, Clock, Collector, CollectorConfig,
+    FleetSnapshot, HealthCheck, NodeRole, NodeSpec, NodeStatus, ObsClient, ObsServer, Severity,
+    Telemetry, TraceCtx,
 };
