@@ -106,6 +106,13 @@ pub enum ClusterError {
     NotBootstrapped,
     /// The replica was already promoted or retired.
     Retired,
+    /// A [`JournalRelay`] bootstrap was requested while the shared
+    /// engine had unflushed queued requests. The relay never flushes a
+    /// shared engine (the write path belongs to the serving tier), and a
+    /// snapshot cut now would hand the joiner the pending queues — the
+    /// events frame of the flush that later services them would be
+    /// rejected. Flush, poll the relay, and bootstrap again.
+    QueuedRequests,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -120,6 +127,10 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "replica holds no state (bootstrap it first)")
             }
             ClusterError::Retired => write!(f, "replica was already promoted/retired"),
+            ClusterError::QueuedRequests => write!(
+                f,
+                "shared engine has queued requests — flush before bootstrapping a joiner"
+            ),
         }
     }
 }

@@ -104,9 +104,13 @@ impl JournalRelay {
     /// one `events` frame per recorded batch, one `epoch` frame per
     /// resize — exactly as [`crate::Primary::poll`] would. If the
     /// cursor's history was truncated out from under the stream (a
-    /// checkpoint cut on the shared engine), the unshipped records are
-    /// gone and the only sound continuation is a stamped snapshot frame
-    /// that re-bootstraps every replica; that is what this returns.
+    /// checkpoint cut on the shared engine), the stream re-anchors the
+    /// way [`crate::Primary`] bootstraps after recovery: a snapshot
+    /// frame carrying the latest *checkpoint* (stamped with the event
+    /// count that checkpoint actually covers) followed by the
+    /// post-checkpoint tail as ordinary frames — replicas re-bootstrap
+    /// and replay forward without losing the records recorded after the
+    /// cut.
     pub fn poll(&mut self) -> Vec<Frame> {
         let engine = Arc::clone(&self.engine);
         let guard = engine.lock().expect("engine mutex poisoned");
@@ -115,45 +119,58 @@ impl JournalRelay {
 
     fn poll_locked(&mut self, engine: &MutexGuard<'_, Engine>) -> Vec<Frame> {
         let journal = engine.journal().expect("relay engines are journaled");
-        let Some(records) = journal.records_since(self.cursor) else {
-            let frame = self.stamp(
-                engine,
-                Payload::Snapshot {
-                    events_applied: journal.total_events(),
-                    text: journal
-                        .latest_checkpoint()
-                        .map(|cp| cp.snapshot.clone())
-                        .unwrap_or_else(|| {
-                            realloc_core::snapshot::Restorable::snapshot_text(&**engine)
-                        }),
-                },
-            );
-            self.cursor = JournalCursor::at_end_of(journal);
-            return vec![frame];
-        };
         let mut cursor = self.cursor;
         let mut payloads: Vec<Payload> = Vec::new();
-        let mut open_batch: Option<Vec<JournalEvent>> = None;
-        for record in records {
-            cursor.advance(&record);
-            match record {
-                JournalRecord::Event(e) => match &mut open_batch {
-                    Some(events) if events[0].batch == e.batch => events.push(*e),
-                    Some(events) => {
-                        payloads.push(Payload::Events(std::mem::replace(events, vec![*e])));
-                    }
-                    None => open_batch = Some(vec![*e]),
-                },
-                JournalRecord::Epoch(rec) => {
-                    if let Some(events) = open_batch.take() {
-                        payloads.push(Payload::Events(events));
-                    }
-                    payloads.push(Payload::Epoch(rec.clone()));
+        if journal.records_since(cursor).is_none() {
+            // The cursor's history was truncated out from under the
+            // stream. A snapshot stamped with `total_events()` but
+            // carrying checkpoint-time text would silently diverge every
+            // replica; pair the checkpoint snapshot with the event count
+            // it covers and stream the tail recorded after it.
+            match (journal.latest_checkpoint(), journal.checkpoint_cursor()) {
+                (Some(cp), Some(at)) => {
+                    payloads.push(Payload::Snapshot {
+                        events_applied: cp.events_before,
+                        text: cp.snapshot.clone(),
+                    });
+                    cursor = at;
+                }
+                // Truncation only happens through a checkpoint cut, so
+                // landing here means the cursor never belonged to this
+                // journal. A live snapshot is consistent with the
+                // engine's own event count by construction.
+                _ => {
+                    payloads.push(Payload::Snapshot {
+                        events_applied: journal.total_events(),
+                        text: realloc_core::snapshot::Restorable::snapshot_text(&**engine),
+                    });
+                    cursor = JournalCursor::at_end_of(journal);
                 }
             }
         }
-        if let Some(events) = open_batch.take() {
-            payloads.push(Payload::Events(events));
+        if let Some(records) = journal.records_since(cursor) {
+            let mut open_batch: Option<Vec<JournalEvent>> = None;
+            for record in records {
+                cursor.advance(&record);
+                match record {
+                    JournalRecord::Event(e) => match &mut open_batch {
+                        Some(events) if events[0].batch == e.batch => events.push(*e),
+                        Some(events) => {
+                            payloads.push(Payload::Events(std::mem::replace(events, vec![*e])));
+                        }
+                        None => open_batch = Some(vec![*e]),
+                    },
+                    JournalRecord::Epoch(rec) => {
+                        if let Some(events) = open_batch.take() {
+                            payloads.push(Payload::Events(events));
+                        }
+                        payloads.push(Payload::Epoch(rec.clone()));
+                    }
+                }
+            }
+            if let Some(events) = open_batch.take() {
+                payloads.push(Payload::Events(events));
+            }
         }
         self.cursor = cursor;
         payloads
@@ -165,13 +182,22 @@ impl JournalRelay {
     /// A snapshot frame bootstrapping a **new** replica, preceded by any
     /// frames still owed to the existing stream (broadcast those to
     /// already-attached replicas first — the snapshot covers them, so
-    /// the joiner must not see them again). The relay never flushes the
-    /// shared engine itself; whatever sits queued at snapshot time is
-    /// the serving tier's to flush, and the resulting events frames ship
-    /// on the next poll.
-    pub fn bootstrap(&mut self) -> (Vec<Frame>, Frame) {
+    /// the joiner must not see them again).
+    ///
+    /// The relay never flushes the shared engine itself, and a snapshot
+    /// cut while requests sit queued would hand the joiner those pending
+    /// queues — the events frame of the flush that later services them
+    /// would then be rejected (the same hazard `Primary::bootstrap`
+    /// flushes to avoid). So bootstrap refuses with
+    /// [`ClusterError::QueuedRequests`] when the engine has queued
+    /// requests: the serving tier must flush (and the relay poll the
+    /// resulting frames) before a joiner can be cut a snapshot.
+    pub fn bootstrap(&mut self) -> Result<(Vec<Frame>, Frame), ClusterError> {
         let engine = Arc::clone(&self.engine);
         let guard = engine.lock().expect("engine mutex poisoned");
+        if guard.queued() > 0 {
+            return Err(ClusterError::QueuedRequests);
+        }
         let owed = self.poll_locked(&guard);
         let snapshot = Frame {
             term: self.term,
@@ -188,7 +214,7 @@ impl JournalRelay {
         if let Some(tele) = &self.tele {
             tele.frames_snapshot.inc();
         }
-        (owed, snapshot)
+        Ok((owed, snapshot))
     }
 
     /// Retained stream frames with sequence numbers past `last_seq`, for
@@ -272,7 +298,7 @@ mod tests {
         let engine = shared_engine();
         let mut relay = JournalRelay::new(Arc::clone(&engine), 1).unwrap();
         let mut replica = crate::Replica::new();
-        let (owed, boot) = relay.bootstrap();
+        let (owed, boot) = relay.bootstrap().unwrap();
         assert!(owed.is_empty());
         replica.apply(&boot).unwrap();
 
@@ -341,6 +367,100 @@ mod tests {
             JournalRelay::new(unjournaled, 1),
             Err(ClusterError::JournalDisabled)
         ));
+    }
+
+    #[test]
+    fn bootstrap_refuses_queued_requests() {
+        let engine = shared_engine();
+        let mut relay = JournalRelay::new(Arc::clone(&engine), 1).unwrap();
+        engine.lock().unwrap().submit(Request::Insert {
+            id: JobId(1),
+            window: Window::new(0, 64),
+        });
+        assert!(matches!(
+            relay.bootstrap(),
+            Err(ClusterError::QueuedRequests)
+        ));
+        // The serving tier flushes; bootstrap proceeds and the flushed
+        // batch ships as an owed frame ahead of the snapshot.
+        engine
+            .lock()
+            .unwrap()
+            .flush_batch(FlushMode::Immediate)
+            .unwrap();
+        let (owed, boot) = relay.bootstrap().unwrap();
+        assert_eq!(owed.len(), 1);
+        let mut replica = crate::Replica::new();
+        replica.apply(&boot).unwrap();
+        assert_eq!(replica.active_count(), 1);
+        assert_eq!(
+            replica.state_digest(),
+            Some(engine.lock().unwrap().state_digest())
+        );
+    }
+
+    #[test]
+    fn truncated_cursor_recovers_via_checkpoint_plus_tail() {
+        let engine = Arc::new(Mutex::new(Engine::new(EngineConfig {
+            shards: 2,
+            journal: true,
+            retained_segments: 1,
+            ..EngineConfig::default()
+        })));
+        let mut relay = JournalRelay::new(Arc::clone(&engine), 1).unwrap();
+        let mut replica = crate::Replica::new();
+        let (owed, boot) = relay.bootstrap().unwrap();
+        assert!(owed.is_empty());
+        replica.apply(&boot).unwrap();
+
+        // Unshipped history, a checkpoint cut that truncates it out from
+        // under the relay cursor, then MORE flushes after the cut — the
+        // post-checkpoint tail the old recovery silently dropped.
+        {
+            let mut eng = engine.lock().unwrap();
+            for i in 0..4u64 {
+                eng.submit(Request::Insert {
+                    id: JobId(i),
+                    window: Window::new(0, 128),
+                });
+                eng.flush_batch(FlushMode::Immediate).unwrap();
+            }
+            eng.checkpoint();
+            eng.checkpoint(); // second cut drops the pre-checkpoint segment
+            for i in 4..7u64 {
+                eng.submit(Request::Insert {
+                    id: JobId(i),
+                    window: Window::new(0, 128),
+                });
+                eng.flush_batch(FlushMode::Immediate).unwrap();
+            }
+            assert!(
+                eng.journal().unwrap().dropped_events() > 0,
+                "test must actually truncate the relay's cursor"
+            );
+        }
+
+        let frames = relay.poll();
+        assert!(
+            matches!(frames[0].payload, Payload::Snapshot { .. }),
+            "recovery leads with a re-bootstrap snapshot"
+        );
+        assert!(
+            frames.len() > 1,
+            "post-checkpoint tail must ship, not vanish: {frames:?}"
+        );
+        // The snapshot's stamp matches the state it carries: applying
+        // snapshot + tail converges the replica on the live engine.
+        for f in &frames {
+            replica.apply(f).unwrap();
+        }
+        let eng = engine.lock().unwrap();
+        assert_eq!(replica.active_count(), 7);
+        assert_eq!(replica.state_digest(), Some(eng.state_digest()));
+        assert_eq!(
+            replica.events_applied(),
+            eng.journal().unwrap().total_events()
+        );
     }
 
     #[test]

@@ -16,12 +16,27 @@
 //! fails to write is counted (`flight_dump_errors_total`) and dropped —
 //! an incident must never escalate into a crash because the disk was
 //! the problem all along.
+//!
+//! Incident hooks run **synchronously on the incident's own thread**
+//! ([`realloc_telemetry::Telemetry::incident`]) — which, for a
+//! durability error, is the flush path of a node whose disk is already
+//! struggling. So the installed hook rate-limits itself: at most one
+//! dump per incident key per [`FlightRecorder::with_dump_gap`] window
+//! (default 1s). A repeating incident costs the hot path one dump per
+//! window instead of one per firing; suppressed firings are counted
+//! (`flight_dump_suppressed_total`) so the repeat rate is still
+//! visible. Manual [`FlightRecorder::dump`] calls are never limited.
 
 use crate::io::StoreIo;
 use realloc_telemetry::Telemetry;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Default [`FlightRecorder::with_dump_gap`]: one dump per incident key
+/// per second.
+pub const DEFAULT_DUMP_GAP_NANOS: u64 = 1_000_000_000;
 
 /// File-name prefix of every dump ([`FlightRecorder::dumps`] filters
 /// on it).
@@ -35,6 +50,11 @@ pub struct FlightRecorder {
     telemetry: Telemetry,
     seq: AtomicU64,
     dump_errors: realloc_telemetry::Counter,
+    dump_suppressed: realloc_telemetry::Counter,
+    /// Per-key floor between *incident-hook* dumps, in nanos.
+    dump_gap_nanos: u64,
+    /// Timestamp of the last hook dump, per incident key.
+    last_dump: Mutex<HashMap<String, u64>>,
 }
 
 impl std::fmt::Debug for FlightRecorder {
@@ -70,7 +90,17 @@ impl FlightRecorder {
             telemetry: telemetry.clone(),
             seq: AtomicU64::new(next),
             dump_errors: telemetry.counter("flight_dump_errors_total"),
+            dump_suppressed: telemetry.counter("flight_dump_suppressed_total"),
+            dump_gap_nanos: DEFAULT_DUMP_GAP_NANOS,
+            last_dump: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Sets the per-key floor between incident-hook dumps (see the
+    /// module docs). Zero disables the limit — every incident dumps.
+    pub fn with_dump_gap(mut self, nanos: u64) -> FlightRecorder {
+        self.dump_gap_nanos = nanos;
+        self
     }
 
     /// The dump directory.
@@ -101,16 +131,39 @@ impl FlightRecorder {
         Ok(name)
     }
 
+    /// Whether an incident-hook dump for `key` may run at `now`, and if
+    /// so, stamps it as this key's latest. One small map op under a
+    /// private lock — the hook's fast path when an incident repeats.
+    fn claim_dump_slot(&self, key: &str, now: u64) -> bool {
+        let mut last = self.last_dump.lock().expect("last-dump map poisoned");
+        match last.get(key) {
+            Some(&at) if now.saturating_sub(at) < self.dump_gap_nanos => false,
+            _ => {
+                last.insert(key.to_string(), now);
+                true
+            }
+        }
+    }
+
     /// Hooks this recorder into its registry's incident path: every
     /// [`realloc_telemetry::Telemetry::incident`] (quorum lost, drain
     /// timeout, durability error, …) dumps a snapshot named after the
     /// incident key. Failed dumps bump `flight_dump_errors_total` and
     /// are otherwise swallowed — diagnostics must not crash the node.
-    /// Replaces any previously installed hook on the registry.
+    /// The hook runs on the incident's own thread (often a degraded
+    /// flush or replication path), so dumps are rate-limited to one per
+    /// key per [`FlightRecorder::with_dump_gap`] window; suppressed
+    /// firings bump `flight_dump_suppressed_total` instead of touching
+    /// the disk. Replaces any previously installed hook on the registry.
     pub fn install(self: &Arc<Self>) {
         let recorder = Arc::clone(self);
         self.telemetry
             .set_incident_hook(Arc::new(move |key: &'static str| {
+                let now = recorder.telemetry.now_nanos();
+                if !recorder.claim_dump_slot(key, now) {
+                    recorder.dump_suppressed.inc();
+                    return;
+                }
                 if recorder.dump(key).is_err() {
                     recorder.dump_errors.inc();
                 }
@@ -204,6 +257,27 @@ mod tests {
         // point records before the hook fires).
         let text = rec.read_dump(&dumps[0]).unwrap();
         assert!(text.contains("warn point quorum_lost 2 1"), "{text}");
+    }
+
+    #[test]
+    fn repeated_incidents_rate_limit_per_key() {
+        let (rec, t) = recorder();
+        rec.install();
+        t.incident("durability_error", 1, 0);
+        // Same key inside the gap: suppressed, counted, no disk touch.
+        t.incident("durability_error", 2, 0);
+        // A different key is its own slot and dumps immediately.
+        t.incident("quorum_lost", 1, 0);
+        assert_eq!(rec.dumps().unwrap().len(), 2);
+        assert_eq!(t.counter_value("flight_dump_suppressed_total"), Some(1));
+        // Past the gap the same key dumps again.
+        t.clock().unwrap().advance(DEFAULT_DUMP_GAP_NANOS);
+        t.incident("durability_error", 3, 0);
+        assert_eq!(rec.dumps().unwrap().len(), 3);
+        // Manual dumps are operator-requested and never limited.
+        rec.dump("durability_error").unwrap();
+        rec.dump("durability_error").unwrap();
+        assert_eq!(rec.dumps().unwrap().len(), 5);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   `cluster_replica_last_seq`. Zero means caught up.
 //! * **Quorum headroom** — reachable replicas minus the configured
 //!   quorum; negative means the group cannot commit right now.
+//! * **Commit-floor lag** — the primary's `cluster_next_seq − 1`
+//!   (highest frame stamped) minus `cluster_group_committed_seq` (the
+//!   quorum commit floor): frames shipped but not yet acknowledged by a
+//!   quorum. Growing while replicas look caught up means acks, not
+//!   frames, are what's stuck.
 //! * **Shed ratio** — `Δservice_shed_total / Δservice_requests_total`
 //!   between consecutive polls.
 //! * **p99 burn rate** — the worst per-tenant
@@ -209,6 +214,10 @@ pub struct FleetSnapshot {
     /// Reachable replicas minus the configured quorum; negative means
     /// commits are impossible right now. `None` without replicas.
     pub quorum_headroom: Option<i64>,
+    /// Frames the primary has shipped past the quorum commit floor
+    /// (`next_seq−1 − committed_seq`). `None` when the primary was not
+    /// scraped or exposes no commit floor (no group commit running).
+    pub commit_lag: Option<u64>,
     /// `Δshed / Δrequests` since the last poll (0 when idle).
     pub shed_ratio: Option<f64>,
     /// Worst per-tenant p99 divided by the SLO; > 1.0 burns the SLO.
@@ -238,6 +247,9 @@ impl FleetSnapshot {
         );
         if let Some(h) = self.quorum_headroom {
             let _ = write!(out, ", quorum headroom {h:+}");
+        }
+        if let Some(l) = self.commit_lag {
+            let _ = write!(out, ", commit lag {l}");
         }
         if let Some(s) = self.shed_ratio {
             let _ = write!(out, ", shed {:.1}%", s * 100.0);
@@ -286,6 +298,12 @@ impl FleetSnapshot {
                 let _ = write!(out, ",\"quorum_headroom\":{h}");
             }
             None => out.push_str(",\"quorum_headroom\":null"),
+        }
+        match self.commit_lag {
+            Some(l) => {
+                let _ = write!(out, ",\"commit_lag\":{l}");
+            }
+            None => out.push_str(",\"commit_lag\":null"),
         }
         match self.shed_ratio {
             Some(s) => {
@@ -427,6 +445,10 @@ impl Collector {
         let primary_tip = primary_raw
             .and_then(|r| r.next_seq)
             .map(|n| n.saturating_sub(1));
+        let commit_lag = primary_raw.and_then(|r| match (primary_tip, r.committed_seq) {
+            (Some(tip), Some(committed)) => Some(tip.saturating_sub(committed)),
+            _ => None,
+        });
         let shipped_advanced = {
             let now = primary_raw.and_then(|r| r.shipped_frames);
             let before = self
@@ -507,6 +529,7 @@ impl Collector {
             nodes,
             quorum_headroom: has_replicas
                 .then(|| replicas_reachable as i64 - self.config.quorum as i64),
+            commit_lag,
             shed_ratio,
             p99_burn,
         }
@@ -522,6 +545,7 @@ mod tests {
     fn fake_primary() -> (Telemetry, ObsServer) {
         let t = Telemetry::with_clock(Clock::manual(), 16);
         t.gauge("cluster_next_seq").set(1);
+        t.gauge("cluster_group_committed_seq").set(0);
         t.counter("cluster_frames_events_total").add(0);
         let s = ObsServer::bind("127.0.0.1:0", t.clone()).unwrap();
         (t, s)
@@ -558,8 +582,10 @@ mod tests {
         assert!(snap.all_reachable());
         assert!(!snap.any_stalled());
         assert_eq!(snap.quorum_headroom, Some(1));
+        assert_eq!(snap.commit_lag, Some(0), "nothing shipped past the floor");
 
-        // Traffic flows; r1 stops applying, r2 keeps up.
+        // Traffic flows; r1 stops applying, r2 keeps up. The commit
+        // floor trails the stalled replica's missing acks.
         pt.gauge("cluster_next_seq").set(8);
         pt.counter("cluster_frames_events_total").add(7);
         st.gauge("cluster_replica_last_seq").set(7);
@@ -574,10 +600,13 @@ mod tests {
         assert!(!r2.stalled);
         assert_eq!(r1.lag, Some(7), "next_seq-1 (7) - last_seq (0)");
         assert_eq!(r2.lag, Some(0));
-        // Both expositions carry the stall.
+        assert_eq!(snap.commit_lag, Some(7), "tip (7) - committed floor (0)");
+        // Both expositions carry the stall and the commit-floor lag.
         let dash = snap.render_dashboard();
         assert!(dash.contains("STALL: r1"), "{dash}");
         assert!(dash.contains("STALLED"), "{dash}");
+        assert!(dash.contains("commit lag 7"), "{dash}");
+        assert!(snap.to_json_line().contains("\"commit_lag\":7"));
         let json = snap.to_json_line();
         assert!(json.contains("\"stalled\":true"), "{json}");
         assert!(
@@ -587,10 +616,12 @@ mod tests {
             "{json}"
         );
 
-        // r1 recovers and catches up; the stall clears.
+        // r1 recovers and catches up; the stall clears and the commit
+        // floor advances to the tip.
         rt.gauge("cluster_replica_last_seq").set(7);
         rt.gauge("cluster_replica_events_applied").set(7);
         pt.gauge("cluster_next_seq").set(9);
+        pt.gauge("cluster_group_committed_seq").set(8);
         pt.counter("cluster_frames_events_total").add(1);
         rt.gauge("cluster_replica_last_seq").set(8);
         rt.gauge("cluster_replica_events_applied").set(8);
@@ -598,6 +629,7 @@ mod tests {
         st.gauge("cluster_replica_events_applied").set(8);
         let snap = collector.poll();
         assert!(!snap.any_stalled(), "{snap:?}");
+        assert_eq!(snap.commit_lag, Some(0));
         assert!(snap.render_dashboard().contains("stall: none"));
         assert!(snap.to_json_line().contains("\"stalled\":false"));
     }
@@ -665,7 +697,10 @@ mod tests {
             "{}",
             snap.to_json_line()
         );
-        // No replicas in this fleet: headroom is undefined, not 0.
+        // No replicas in this fleet: headroom is undefined, not 0 — and
+        // with no primary scraped, so is the commit-floor lag.
         assert_eq!(snap.quorum_headroom, None);
+        assert_eq!(snap.commit_lag, None);
+        assert!(snap.to_json_line().contains("\"commit_lag\":null"));
     }
 }

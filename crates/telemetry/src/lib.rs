@@ -295,6 +295,12 @@ impl Telemetry {
     /// installed incident hook, if any. The event is in the ring
     /// *before* the hook runs, so a hook that snapshots the ring
     /// captures its own trigger; no ring lock is held across the call.
+    ///
+    /// The hook runs **synchronously on the caller's thread** — and
+    /// incidents fire from already-degraded paths (a flush hitting a
+    /// sick disk, a replication link failing), so an expensive hook
+    /// must bound its own cost. The flight recorder's installed hook
+    /// rate-limits dumps per incident key for exactly this reason.
     pub fn incident(&self, key: &'static str, a: u64, b: u64) {
         let Some(s) = &self.inner else { return };
         self.point(Severity::Warn, key, a, b);

@@ -143,7 +143,7 @@ fn main() {
     let mut link1 = PrimaryLink::connect(replica_servers[0].addr()).unwrap();
     let mut link2 = PrimaryLink::connect(replica_servers[1].addr()).unwrap();
     link1.attach_telemetry(&pt);
-    let (owed, boot) = relay.bootstrap();
+    let (owed, boot) = relay.bootstrap().expect("fresh engine has no queue");
     assert!(owed.is_empty(), "fresh engine owes no frames");
     for link in [&mut link1, &mut link2] {
         link.send(&boot).unwrap();

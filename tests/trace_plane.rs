@@ -88,7 +88,7 @@ fn one_trace_id_spans_service_flush_fsync_ship_and_replica_apply() {
     relay.attach_telemetry(&pt);
     let mut link = PrimaryLink::connect(r_server.addr()).unwrap();
     link.attach_telemetry(&pt);
-    let (owed, boot) = relay.bootstrap();
+    let (owed, boot) = relay.bootstrap().expect("fresh engine has no queue");
     assert!(owed.is_empty());
     link.send(&boot).unwrap();
     link.drain().unwrap();
